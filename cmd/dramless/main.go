@@ -1,0 +1,238 @@
+// Command dramless regenerates the paper's tables and figures and runs
+// individual system x workload simulations.
+//
+// Usage:
+//
+//	dramless experiments [-full] [-scale N] [-kernels a,b,c] [id ...]
+//	dramless run -system DRAM-less -kernel gemver [-scale N]
+//	dramless list
+//
+// With no experiment ids, every table and figure is regenerated in paper
+// order.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"dramless"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "experiments":
+		cmdExperiments(os.Args[2:])
+	case "run":
+		cmdRun(os.Args[2:])
+	case "trace":
+		cmdTrace(os.Args[2:])
+	case "list":
+		cmdList()
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `dramless - HPCA'20 "DRAM-less" reproduction harness
+
+commands:
+  experiments [-full] [-scale bytes] [-kernels a,b,c] [id ...]
+        regenerate the paper's tables/figures (default: all of them)
+  run   -system <name> -kernel <name> [-scale bytes]
+        one end-to-end system simulation with full breakdowns
+  trace [-addr N] [-n bytes] [-write] [-scheduler name]
+        dump the LPDDR2-NVM command stream one access produces
+  list  show experiment ids, system names and workloads`)
+}
+
+func cmdList() {
+	fmt.Println("experiments:")
+	for _, id := range dramless.ExperimentIDs() {
+		fmt.Printf("  %s\n", id)
+	}
+	fmt.Println("systems:")
+	for _, k := range dramless.SystemKinds() {
+		fmt.Printf("  %s\n", k)
+	}
+	fmt.Println("workloads:")
+	for _, w := range dramless.Workloads() {
+		fmt.Printf("  %-8s %s\n", w.Name, w.Class)
+	}
+}
+
+func cmdExperiments(args []string) {
+	fs := flag.NewFlagSet("experiments", flag.ExitOnError)
+	full := fs.Bool("full", false, "paper-scale footprints (slow)")
+	asJSON := fs.Bool("json", false, "emit JSON instead of tables")
+	scale := fs.Int64("scale", 0, "override footprint scale in bytes")
+	kernels := fs.String("kernels", "", "comma-separated kernel subset")
+	fs.Parse(args)
+
+	o := dramless.FastExperiments()
+	if *full {
+		o = dramless.FullExperiments()
+	}
+	if *scale > 0 {
+		o.Scale = *scale
+	}
+	if *kernels != "" {
+		o.Kernels = strings.Split(*kernels, ",")
+	}
+
+	ids := fs.Args()
+	if len(ids) == 0 {
+		ids = dramless.ExperimentIDs()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		tab, err := dramless.Experiment(id, o)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			os.Exit(1)
+		}
+		if *asJSON {
+			doc, err := tab.JSON()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			os.Stdout.Write(doc)
+			fmt.Println()
+		} else {
+			tab.Print(os.Stdout)
+			fmt.Printf("(%s in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		}
+	}
+}
+
+func cmdTrace(args []string) {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	addr := fs.Uint64("addr", 0, "target byte address")
+	n := fs.Int("n", 128, "access size in bytes")
+	write := fs.Bool("write", false, "trace a write instead of a read")
+	schedName := fs.String("scheduler", "Final", "Bare-metal | Interleaving | Selective-erasing | Final")
+	fs.Parse(args)
+
+	var sched dramless.Scheduler
+	found := false
+	for _, s := range []dramless.Scheduler{dramless.BareMetal, dramless.Interleaving, dramless.SelectiveErasing, dramless.Final} {
+		if strings.EqualFold(s.String(), *schedName) {
+			sched, found = s, true
+			break
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "unknown scheduler %q\n", *schedName)
+		os.Exit(2)
+	}
+
+	pram, ready, err := dramless.NewPRAM(
+		dramless.WithCapacityRows(1<<16),
+		dramless.WithScheduler(sched))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	pram.EnableTrace(true)
+	op := "read"
+	var done dramless.Time
+	if *write {
+		op = "write"
+		done, err = pram.Write(ready, *addr, make([]byte, *n))
+	} else {
+		_, done, err = pram.Read(ready, *addr, *n)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s of %d B at %#x under %s: accepted after %v (drain %v)\n\n",
+		op, *n, *addr, sched, done-ready, pram.Drain()-ready)
+	for ch := 0; ch < 2; ch++ {
+		for pkg := 0; pkg < 16; pkg++ {
+			cmds := pram.Trace(ch, pkg)
+			if len(cmds) == 0 {
+				continue
+			}
+			fmt.Printf("channel %d, package %d:\n", ch, pkg)
+			for i, c := range cmds {
+				fmt.Printf("  %2d: %v\n", i, c)
+			}
+		}
+	}
+}
+
+func cmdRun(args []string) {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	sysName := fs.String("system", "DRAM-less", "system organization (see list)")
+	kernelName := fs.String("kernel", "gemver", "workload (see list)")
+	scale := fs.Int64("scale", 256<<10, "footprint scale in bytes")
+	fs.Parse(args)
+
+	var kind dramless.SystemKind
+	found := false
+	for _, k := range dramless.SystemKinds() {
+		if strings.EqualFold(k.String(), *sysName) {
+			kind, found = k, true
+			break
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "unknown system %q (see `dramless list`)\n", *sysName)
+		os.Exit(2)
+	}
+	w, err := dramless.WorkloadByName(*kernelName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	cfg := dramless.NewSystemConfig(kind)
+	cfg.Scale = *scale
+	res, err := dramless.RunSystem(cfg, w)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%s running %s (%s), footprint %d KiB\n\n", kind, w.Name, w.Class, res.Footprint>>10)
+	fmt.Printf("total %v   (load %v | kernel %v | store %v)\n", res.Total, res.Load, res.Kernel, res.Store)
+	fmt.Printf("throughput %.1f MB/s\n\n", res.BandwidthMBps())
+
+	fmt.Println("time decomposition:")
+	for _, k := range res.Time.Keys() {
+		fmt.Printf("  %-10s %6.1f%%\n", k, res.Time.Share(k)*100)
+	}
+	fmt.Println("energy decomposition:")
+	bd := res.Energy.Breakdown()
+	for _, k := range bd.Keys() {
+		if bd.Get(k) == 0 {
+			continue
+		}
+		fmt.Printf("  %-12s %10.4g J  (%4.1f%%)\n", k, bd.Get(k), bd.Share(k)*100)
+	}
+	fmt.Printf("total energy %.4g J\n\n", res.Energy.Total())
+
+	rep := res.Report
+	fmt.Printf("kernel phase: %d instructions on %d agents, aggregate IPC %.2f\n",
+		rep.Instrs, len(rep.Agents), rep.TotalIPC(1e9))
+	var l1, l2 float64
+	for _, ag := range rep.Agents {
+		l1 += ag.L1.HitRate()
+		l2 += ag.L2.HitRate()
+	}
+	n := float64(len(rep.Agents))
+	fmt.Printf("cache hit rates: L1 %.0f%%  L2 %.0f%%\n", 100*l1/n, 100*l2/n)
+}

@@ -1,0 +1,270 @@
+// Package dramless is a simulation library reproducing "DRAM-less:
+// Hardware Acceleration of Data Processing with New Memory" (Zhang et
+// al., HPCA 2020): a multi-core accelerator whose internal DRAM is
+// replaced by a hardware-automated multi-partition PRAM subsystem, plus
+// every baseline system the paper compares against.
+//
+// The public API has three layers:
+//
+//   - Device level: NewPRAM builds the hardware-automated PRAM subsystem
+//     (FPGA controller, LPDDR2-NVM three-phase addressing, interleaving
+//     and selective-erasing schedulers) as a byte-addressable Memory.
+//   - Accelerator level: NewAccelerator assembles the 8-PE platform over
+//     any Memory and executes kernels near the data; OffloadImage drives
+//     the paper's packData/pushData/unpackData programming model.
+//   - System level: RunSystem executes a workload end to end on any of
+//     the Table I organizations (Hetero, Heterodirect, Integrated-*,
+//     PAGE-buffer, NOR-intf, DRAM-less, ...), returning time and energy
+//     decompositions; Experiment regenerates any of the paper's tables
+//     and figures.
+//
+// All simulation is deterministic: identical inputs produce identical
+// schedules, timings and energies.
+package dramless
+
+import (
+	"fmt"
+
+	"dramless/internal/accel"
+	"dramless/internal/experiments"
+	"dramless/internal/kernel"
+	"dramless/internal/mem"
+	"dramless/internal/memctrl"
+	"dramless/internal/sim"
+	"dramless/internal/system"
+	"dramless/internal/workload"
+)
+
+// Time is a simulated instant (picoseconds since simulation start).
+type Time = sim.Time
+
+// Duration is a simulated time span.
+type Duration = sim.Duration
+
+// Common duration units re-exported for callers.
+const (
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// Memory is a timed, functional byte-addressable device: reads return
+// previously written bytes and every operation reports its simulated
+// completion time.
+type Memory = mem.Device
+
+// Scheduler selects the PRAM controller policy (Figure 13).
+type Scheduler = memctrl.Scheduler
+
+// Controller scheduling policies.
+const (
+	BareMetal        = memctrl.Noop
+	Interleaving     = memctrl.Interleave
+	SelectiveErasing = memctrl.SelErase
+	Final            = memctrl.Final
+)
+
+// PRAM is the hardware-automated PRAM subsystem: two LPDDR2-NVM channels
+// of sixteen multi-partition PRAM packages behind the FPGA controller.
+type PRAM = memctrl.Subsystem
+
+// PRAMOption customizes NewPRAM.
+type PRAMOption func(*memctrl.Config)
+
+// WithScheduler selects the controller scheduling policy (default Final).
+func WithScheduler(s Scheduler) PRAMOption {
+	return func(c *memctrl.Config) { c.Scheduler = s }
+}
+
+// WithCapacityRows sets rows per module (capacity = rows x 32 B x 32
+// modules, minus the overlay windows). Must be a power of two.
+func WithCapacityRows(rows uint64) PRAMOption {
+	return func(c *memctrl.Config) { c.Geometry.RowsPerModule = rows }
+}
+
+// WithoutPhaseSkipping disables RAB/RDB-aware phase skipping (ablation).
+func WithoutPhaseSkipping() PRAMOption {
+	return func(c *memctrl.Config) { c.PhaseSkipping = false }
+}
+
+// WithoutPrefetch disables sequential RDB prefetch (ablation).
+func WithoutPrefetch() PRAMOption {
+	return func(c *memctrl.Config) { c.Prefetch = false }
+}
+
+// WithWearLeveling enables start-gap wear leveling in the controller
+// (Section VII: "DRAM-less can integrate traditional wear levellers in
+// our PRAM controller, such as start-gap"). Every gapWritePeriod row
+// programs per region move that region's gap one row; regionRows sets the
+// leveling region size (capacity overhead 1/regionRows). Pass 0,0 for the
+// conventional psi=100, 512-row-region configuration.
+func WithWearLeveling(gapWritePeriod, regionRows int) PRAMOption {
+	return func(c *memctrl.Config) {
+		w := memctrl.DefaultWear()
+		if gapWritePeriod > 0 {
+			w.GapWritePeriod = gapWritePeriod
+		}
+		if regionRows > 0 {
+			w.RegionRows = regionRows
+		}
+		c.Wear = w
+	}
+}
+
+// WearStats is the controller's endurance picture under wear leveling.
+type WearStats = memctrl.WearStats
+
+// WithWritePausing enables device-level write pause/resume: reads preempt
+// in-flight programs at the cost of stretching them - the Related Work
+// alternative the paper compares its interleaving against.
+func WithWritePausing() PRAMOption {
+	return func(c *memctrl.Config) { c.WritePausing = true }
+}
+
+// NewPRAM builds a booted DRAM-less PRAM subsystem. The returned Memory
+// is ready for traffic at the returned time.
+func NewPRAM(opts ...PRAMOption) (*PRAM, Time, error) {
+	cfg := memctrl.DefaultConfig(memctrl.Final)
+	cfg.Geometry.RowsPerModule = 1 << 18 // 256 MiB usable by default
+	for _, o := range opts {
+		o(&cfg)
+	}
+	sub, err := memctrl.New(cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	ready, err := sub.Boot(0)
+	if err != nil {
+		return nil, 0, err
+	}
+	return sub, ready, nil
+}
+
+// Accelerator is the 8-PE near-data processing platform (Figure 6).
+type Accelerator = accel.Accelerator
+
+// Report is a kernel execution report.
+type Report = accel.Report
+
+// NewAccelerator assembles the paper's accelerator over any Memory
+// backend (the DRAM-less composition uses a *PRAM).
+func NewAccelerator(backend Memory) (*Accelerator, error) {
+	return accel.New(accel.Default(), backend)
+}
+
+// Job is one kernel execution request for the server's multi-kernel
+// scheduler (Section IV); run batches with Accelerator.RunJobs.
+type Job = accel.Job
+
+// JobResult pairs a scheduled job with its execution report.
+type JobResult = accel.JobResult
+
+// Workload is one Polybench kernel model.
+type Workload = workload.Kernel
+
+// WorkloadParams scales and places a workload.
+type WorkloadParams = workload.Params
+
+// Workloads returns the 16-kernel evaluation suite (Table III).
+func Workloads() []Workload { return workload.Suite() }
+
+// WorkloadByName returns the named kernel.
+func WorkloadByName(name string) (Workload, error) { return workload.ByName(name) }
+
+// KernelImage is a packed multi-app kernel image (Figure 10).
+type KernelImage = kernel.Image
+
+// KernelApp is one application inside an image.
+type KernelApp = kernel.App
+
+// PackImage serializes an image (the host-side packData interface).
+func PackImage(img *KernelImage) ([]byte, error) { return kernel.Pack(img) }
+
+// UnpackImage parses a packed image (the server-side unpackData).
+func UnpackImage(data []byte) (*KernelImage, error) { return kernel.Unpack(data) }
+
+// OffloadImage performs the Figure 9b flow: ship the packed image into
+// the device at imageAddr, unpack it server-side and load the code
+// segments to their boot addresses. push delivers host bytes into device
+// memory (e.g. a PCIe DMA); it may be nil to use plain device writes.
+func OffloadImage(at Time, img *KernelImage, imageAddr uint64, dev Memory,
+	push func(at Time, dst uint64, data []byte) (Time, error)) (*KernelImage, Time, error) {
+	p := kernel.Pusher(push)
+	if push == nil {
+		p = dev.Write
+	}
+	return kernel.Offload(at, img, imageAddr, p, dev)
+}
+
+// SystemKind identifies one Table I organization.
+type SystemKind = system.Kind
+
+// The evaluated system organizations.
+const (
+	Hetero           = system.Hetero
+	Heterodirect     = system.Heterodirect
+	HeteroPRAM       = system.HeteroPRAM
+	HeterodirectPRAM = system.HeterodirectPRAM
+	NORIntf          = system.NORIntf
+	IntegratedSLC    = system.IntegratedSLC
+	IntegratedMLC    = system.IntegratedMLC
+	IntegratedTLC    = system.IntegratedTLC
+	PageBuffer       = system.PageBuffer
+	DRAMLess         = system.DRAMLess
+	DRAMLessFirmware = system.DRAMLessFirmware
+	Ideal            = system.Ideal
+)
+
+// SystemKinds returns every organization; Figure15Kinds the ten compared
+// in the headline figure.
+func SystemKinds() []SystemKind   { return system.Kinds() }
+func Figure15Kinds() []SystemKind { return system.Fig15Kinds() }
+
+// SystemConfig parametrizes a full-system run.
+type SystemConfig = system.Config
+
+// SystemResult is an end-to-end run outcome with time and energy
+// decompositions.
+type SystemResult = system.Result
+
+// NewSystemConfig returns a runnable configuration of the given kind.
+func NewSystemConfig(kind SystemKind) SystemConfig { return system.DefaultConfig(kind) }
+
+// RunSystem executes the workload on the configured system end to end:
+// input staging, kernel offload, near-data execution, result persistence.
+func RunSystem(cfg SystemConfig, w Workload) (*SystemResult, error) {
+	return system.Run(cfg, w)
+}
+
+// ExperimentTable is a printable experiment result.
+type ExperimentTable = experiments.Table
+
+// ExperimentOptions scales the experiment harness.
+type ExperimentOptions = experiments.Options
+
+// ExperimentIDs lists every reproducible table and figure.
+func ExperimentIDs() []string {
+	all := experiments.All()
+	out := make([]string, 0, len(all))
+	for _, e := range all {
+		out = append(out, e.ID)
+	}
+	return out
+}
+
+// Experiment regenerates the identified table or figure ("fig15",
+// "table2", "sec5-selerase", ...) at the given options.
+func Experiment(id string, o ExperimentOptions) (*ExperimentTable, error) {
+	for _, e := range experiments.All() {
+		if e.ID == id {
+			return e.Gen(o)
+		}
+	}
+	return nil, fmt.Errorf("dramless: unknown experiment %q (have %v)", id, ExperimentIDs())
+}
+
+// FastExperiments returns options sized for quick runs; FullExperiments
+// options sized closer to the paper's volumes.
+func FastExperiments() ExperimentOptions { return experiments.Fast() }
+func FullExperiments() ExperimentOptions { return experiments.Full() }

@@ -1,0 +1,135 @@
+package dramless_test
+
+import (
+	"bytes"
+	"testing"
+
+	"dramless"
+)
+
+func TestNewPRAMRoundTrip(t *testing.T) {
+	pram, ready, err := dramless.NewPRAM(dramless.WithCapacityRows(1 << 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ready <= 0 {
+		t.Fatal("boot took no time")
+	}
+	payload := []byte("persistent bytes in phase-change memory")
+	done, err := pram.Write(ready, 4096, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := pram.Read(pram.Drain(), 4096, len(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("round trip failed")
+	}
+	if done <= ready {
+		t.Fatal("write completed before it started")
+	}
+}
+
+func TestPRAMOptions(t *testing.T) {
+	pram, _, err := dramless.NewPRAM(
+		dramless.WithCapacityRows(1<<16),
+		dramless.WithScheduler(dramless.BareMetal),
+		dramless.WithoutPhaseSkipping(),
+		dramless.WithoutPrefetch(),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := pram.Config()
+	if cfg.Scheduler != dramless.BareMetal || cfg.PhaseSkipping || cfg.Prefetch {
+		t.Fatalf("options not applied: %+v", cfg)
+	}
+}
+
+func TestAcceleratorRunsWorkload(t *testing.T) {
+	pram, ready, err := dramless.NewPRAM(dramless.WithCapacityRows(1 << 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := dramless.NewAccelerator(pram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := dramless.WorkloadByName("trisolv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := acc.RunKernel(ready, w, dramless.WorkloadParams{Scale: 64 << 10, Agents: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ExecTime() <= 0 || rep.Instrs == 0 {
+		t.Fatal("kernel made no progress")
+	}
+}
+
+func TestOffloadImageViaPublicAPI(t *testing.T) {
+	pram, ready, err := dramless.NewPRAM(dramless.WithCapacityRows(1 << 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := &dramless.KernelImage{
+		SharedAddr: 0x8000,
+		Shared:     bytes.Repeat([]byte{0xCD}, 128),
+		Apps: []dramless.KernelApp{
+			{BootAddr: 0x10000, Code: bytes.Repeat([]byte{0x42}, 256)},
+		},
+	}
+	parsed, done, err := dramless.OffloadImage(ready, img, 0x1000, pram, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed.Apps) != 1 || done <= ready {
+		t.Fatal("offload incomplete")
+	}
+	code, _, err := pram.Read(pram.Drain(), 0x10000, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(code, img.Apps[0].Code) {
+		t.Fatal("kernel code not loaded at boot address")
+	}
+}
+
+func TestRunSystemAndWorkloads(t *testing.T) {
+	if got := len(dramless.Workloads()); got != 16 {
+		t.Fatalf("suite = %d kernels, want 16", got)
+	}
+	cfg := dramless.NewSystemConfig(dramless.DRAMLess)
+	cfg.Scale = 128 << 10
+	w, _ := dramless.WorkloadByName("gemver")
+	res, err := dramless.RunSystem(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total <= 0 || res.BandwidthMBps() <= 0 || res.Energy.Total() <= 0 {
+		t.Fatal("empty system result")
+	}
+	if len(dramless.Figure15Kinds()) != 10 || len(dramless.SystemKinds()) != 12 {
+		t.Fatal("system kind lists wrong")
+	}
+}
+
+func TestExperimentDispatch(t *testing.T) {
+	ids := dramless.ExperimentIDs()
+	if len(ids) != 16 {
+		t.Fatalf("%d experiments, want 16", len(ids))
+	}
+	tab, err := dramless.Experiment("table2", dramless.FastExperiments())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.ID != "table2" || len(tab.Rows) == 0 {
+		t.Fatal("table2 empty")
+	}
+	if _, err := dramless.Experiment("nope", dramless.FastExperiments()); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}

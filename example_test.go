@@ -1,0 +1,82 @@
+package dramless_test
+
+import (
+	"fmt"
+	"log"
+
+	"dramless"
+)
+
+// Build the hardware-automated PRAM subsystem, write persistent data and
+// read it back through the full LPDDR2-NVM protocol.
+func ExampleNewPRAM() {
+	pram, ready, err := dramless.NewPRAM(dramless.WithCapacityRows(1 << 16))
+	if err != nil {
+		log.Fatal(err)
+	}
+	payload := []byte("near-data processing")
+	if _, err := pram.Write(ready, 0, payload); err != nil {
+		log.Fatal(err)
+	}
+	got, _, err := pram.Read(pram.Drain(), 0, len(payload))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s\n", got)
+	fmt.Printf("capacity %d MiB, scheduler %v\n", pram.Size()>>20, pram.Config().Scheduler)
+	// Output:
+	// near-data processing
+	// capacity 63 MiB, scheduler Final
+}
+
+// Execute a Polybench kernel near the data on the 8-PE accelerator.
+func ExampleAccelerator_RunKernel() {
+	pram, ready, err := dramless.NewPRAM(dramless.WithCapacityRows(1 << 16))
+	if err != nil {
+		log.Fatal(err)
+	}
+	acc, err := dramless.NewAccelerator(pram)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w, _ := dramless.WorkloadByName("trisolv")
+	rep, err := acc.RunKernel(ready, w, dramless.WorkloadParams{Scale: 64 << 10, Agents: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d agents retired %d instructions\n", len(rep.Agents), rep.Instrs)
+	// Output:
+	// 7 agents retired 238324 instructions
+}
+
+// Compare the DRAM-less organization against the conventional
+// heterogeneous system end to end.
+func ExampleRunSystem() {
+	w, _ := dramless.WorkloadByName("gemver")
+	var bw [2]float64
+	for i, kind := range []dramless.SystemKind{dramless.Hetero, dramless.DRAMLess} {
+		cfg := dramless.NewSystemConfig(kind)
+		cfg.Scale = 128 << 10
+		res, err := dramless.RunSystem(cfg, w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bw[i] = res.BandwidthMBps()
+	}
+	fmt.Printf("DRAM-less beats Hetero: %v\n", bw[1] > bw[0])
+	// Output:
+	// DRAM-less beats Hetero: true
+}
+
+// Regenerate one of the paper's tables.
+func ExampleExperiment() {
+	tab, err := dramless.Experiment("table2", dramless.FastExperiments())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(tab.Title)
+	fmt.Printf("tRCD = %v ns\n", tab.Rows[0].Values["tRCD-ns"])
+	// Output:
+	// characterized PRAM parameters
+	// tRCD = 80 ns
+}

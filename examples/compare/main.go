@@ -1,0 +1,55 @@
+// Compare: run one workload end to end on all ten Table I system
+// organizations and print the Figure 15-style comparison - throughput
+// normalized to the conventional heterogeneous system, plus the time and
+// energy split of each.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"dramless"
+)
+
+func main() {
+	kernelName := flag.String("kernel", "gemver", "workload to run (see -list)")
+	scale := flag.Int64("scale", 256<<10, "base footprint in bytes")
+	list := flag.Bool("list", false, "list workloads and exit")
+	flag.Parse()
+
+	if *list {
+		for _, w := range dramless.Workloads() {
+			fmt.Printf("%-8s %s\n", w.Name, w.Class)
+		}
+		return
+	}
+
+	w, err := dramless.WorkloadByName(*kernelName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload %s (%s), footprint scale %d KiB\n\n", w.Name, w.Class, *scale>>10)
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "system\ttotal\tbandwidth\tnorm\tload\tkernel\tstore\tenergy")
+	var base float64
+	for _, kind := range dramless.Figure15Kinds() {
+		cfg := dramless.NewSystemConfig(kind)
+		cfg.Scale = *scale
+		res, err := dramless.RunSystem(cfg, w)
+		if err != nil {
+			log.Fatalf("%v: %v", kind, err)
+		}
+		bw := res.BandwidthMBps()
+		if base == 0 {
+			base = bw
+		}
+		fmt.Fprintf(tw, "%s\t%v\t%.1f MB/s\t%.2fx\t%v\t%v\t%v\t%.3g J\n",
+			kind, res.Total, bw, bw/base, res.Load, res.Kernel, res.Store, res.Energy.Total())
+	}
+	tw.Flush()
+	fmt.Println("\nnorm = throughput normalized to Hetero (the paper's Figure 15 metric)")
+}

@@ -1,0 +1,3 @@
+module dramless
+
+go 1.22

@@ -1,0 +1,395 @@
+// Package accel composes the DRAM-less accelerator (Figure 6a): eight
+// 1 GHz PEs with private L1/L2 caches on a crossbar, one of them acting
+// as the server (MCU + power/sleep controller) that owns the memory
+// backend, the rest as agents executing kernels. The backend is any
+// mem.Device, which is how the Table I systems swap PRAM, flash, DRAM
+// and host-attached storage under the same accelerator.
+package accel
+
+import (
+	"fmt"
+
+	"dramless/internal/cache"
+	"dramless/internal/mem"
+	"dramless/internal/noc"
+	"dramless/internal/pe"
+	"dramless/internal/sim"
+	"dramless/internal/stats"
+	"dramless/internal/workload"
+)
+
+// Config describes the accelerator build.
+type Config struct {
+	// NumPEs is the total processor count (8); one is the server, the
+	// rest are agents.
+	NumPEs int
+	PE     pe.Config
+	L1     cache.Config
+	L2     cache.Config
+	NoC    noc.Config
+	// MCULatency is the server-side request handling overhead per L2
+	// miss the MCU takes over.
+	MCULatency sim.Duration
+	// LaunchOverhead is the PSC sleep -> boot-address store -> wake
+	// sequence per agent (Figure 9b steps 3-6).
+	LaunchOverhead sim.Duration
+	// SampleInterval enables IPC/power series when positive.
+	SampleInterval sim.Duration
+}
+
+// Default returns the paper's platform.
+func Default() Config {
+	return Config{
+		NumPEs:         8,
+		PE:             pe.Default(),
+		L1:             cache.L1Data(),
+		L2:             cache.L2(),
+		NoC:            noc.Default(),
+		MCULatency:     sim.Nanoseconds(40),
+		LaunchOverhead: sim.Microseconds(5),
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.NumPEs < 2 {
+		return fmt.Errorf("accel: need at least a server and one agent, got %d PEs", c.NumPEs)
+	}
+	if err := c.PE.Validate(); err != nil {
+		return err
+	}
+	if err := c.L1.Validate(); err != nil {
+		return err
+	}
+	if err := c.L2.Validate(); err != nil {
+		return err
+	}
+	if err := c.NoC.Validate(); err != nil {
+		return err
+	}
+	if c.NoC.Ports < c.NumPEs+1 {
+		return fmt.Errorf("accel: crossbar needs %d ports for %d PEs plus the controller", c.NumPEs+1, c.NumPEs)
+	}
+	if c.MCULatency < 0 || c.LaunchOverhead < 0 {
+		return fmt.Errorf("accel: negative overheads")
+	}
+	return nil
+}
+
+// Accelerator is the assembled device.
+type Accelerator struct {
+	cfg     Config
+	backend mem.Device
+	xbar    *noc.Crossbar
+	mcu     *sim.Resource
+	psc     *PSC
+	// writeGen invalidates MCU stream buffers on any write through the
+	// accelerator, keeping aggregated fetches coherent.
+	writeGen int64
+}
+
+// mcuFetchBytes is the server's aggregated request size: "512 bytes per
+// channel" across the two channels, fetched into a per-agent stream
+// buffer when the miss pattern is sequential.
+const mcuFetchBytes = 1024
+
+// New assembles an accelerator over backend.
+func New(cfg Config, backend mem.Device) (*Accelerator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if backend == nil {
+		return nil, fmt.Errorf("accel: nil backend")
+	}
+	xbar, err := noc.New(cfg.NoC)
+	if err != nil {
+		return nil, err
+	}
+	return &Accelerator{
+		cfg:     cfg,
+		backend: backend,
+		xbar:    xbar,
+		mcu:     sim.NewResource("mcu"),
+		psc:     newPSC(cfg.NumPEs - 1),
+	}, nil
+}
+
+// MustNew is New for known-good configurations.
+func MustNew(cfg Config, backend mem.Device) *Accelerator {
+	a, err := New(cfg, backend)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Config returns the build configuration.
+func (a *Accelerator) Config() Config { return a.cfg }
+
+// Backend returns the memory backend.
+func (a *Accelerator) Backend() mem.Device { return a.backend }
+
+// Agents returns how many PEs execute kernels (all but the server).
+func (a *Accelerator) Agents() int { return a.cfg.NumPEs - 1 }
+
+// PSC exposes the power/sleep controller's state and residencies.
+func (a *Accelerator) PSC() *PSC { return a.psc }
+
+// serverPort is the crossbar port of the server PE (port 0); agent i uses
+// port i+1; the FPGA controller bridge is the last port.
+const serverPort = 0
+
+// mcuPath routes an agent's L2 misses through the crossbar to the
+// server's MCU and down to the backend ("the MCU takes over the L2 cache
+// misses of an agent and administrates all the associated PRAM
+// accesses").
+type mcuPath struct {
+	a    *Accelerator
+	port int // the agent's crossbar port
+
+	// Stream buffer: the server aggregates sequential misses into
+	// mcuFetchBytes backend reads ("512 bytes per channel ... and tries
+	// to prefetch data by using all RDBs across different banks").
+	bufAddr  uint64
+	buf      []byte
+	bufReady sim.Time
+	bufGen   int64
+	prevEnd  uint64 // end of the previous miss, for the sequential detector
+}
+
+var _ mem.Device = (*mcuPath)(nil)
+
+func (m *mcuPath) Size() uint64 { return m.a.backend.Size() }
+
+func (m *mcuPath) Read(at sim.Time, addr uint64, n int) ([]byte, sim.Time, error) {
+	// Stream-buffer hit: the aggregated block already holds the line.
+	if m.buf != nil && m.bufGen == m.a.writeGen &&
+		addr >= m.bufAddr && addr+uint64(n) <= m.bufAddr+uint64(len(m.buf)) {
+		t := sim.Max(at, m.bufReady)
+		t, err := m.a.xbar.Transfer(t, serverPort, m.port, int64(n))
+		if err != nil {
+			return nil, 0, err
+		}
+		out := make([]byte, n)
+		copy(out, m.buf[addr-m.bufAddr:])
+		return out, t, nil
+	}
+
+	// Request message agent -> server, MCU handling, backend access,
+	// data server -> agent.
+	t, err := m.a.xbar.Transfer(at, m.port, serverPort, 32)
+	if err != nil {
+		return nil, 0, err
+	}
+	t = m.a.mcu.AcquireUntil(t, m.a.cfg.MCULatency)
+
+	sequential := addr == m.prevEnd
+	m.prevEnd = addr + uint64(n)
+	fetch := n
+	base := addr
+	if sequential {
+		// Aggregate: fetch the aligned block and keep it for the next
+		// misses of this agent's stream.
+		base = addr / mcuFetchBytes * mcuFetchBytes
+		fetch = mcuFetchBytes
+		if base+uint64(fetch) > m.a.backend.Size() {
+			fetch = int(m.a.backend.Size() - base)
+		}
+	}
+	data, t, err := m.a.backend.Read(t, base, fetch)
+	if err != nil {
+		return nil, 0, err
+	}
+	if sequential {
+		m.bufAddr, m.buf, m.bufReady, m.bufGen = base, data, t, m.a.writeGen
+	}
+	t, err = m.a.xbar.Transfer(t, serverPort, m.port, int64(n))
+	if err != nil {
+		return nil, 0, err
+	}
+	out := make([]byte, n)
+	copy(out, data[addr-base:int(addr-base)+n])
+	return out, t, nil
+}
+
+func (m *mcuPath) Write(at sim.Time, addr uint64, data []byte) (sim.Time, error) {
+	m.a.writeGen++ // writes invalidate every agent's stream buffer
+	t, err := m.a.xbar.Transfer(at, m.port, serverPort, int64(len(data))+32)
+	if err != nil {
+		return 0, err
+	}
+	t = m.a.mcu.AcquireUntil(t, m.a.cfg.MCULatency)
+	return m.a.backend.Write(t, addr, data)
+}
+
+func (m *mcuPath) Drain() sim.Time { return mem.DrainOf(m.a.backend, 0) }
+
+// AgentRun is the per-agent outcome of a kernel execution.
+type AgentRun struct {
+	Instructions int64
+	Compute      sim.Duration
+	Stall        sim.Duration
+	Finished     sim.Time
+	L1           cache.Stats
+	L2           cache.Stats
+}
+
+// Report summarizes a kernel execution.
+type Report struct {
+	Start   sim.Time
+	End     sim.Time // last agent finished, caches flushed, backend drained
+	Agents  []AgentRun
+	IPC     *stats.Series // aggregate instructions per bucket (nil unless sampled)
+	Spans   []pe.Span     // busy/stall intervals of every agent (for power plots)
+	Instrs  int64
+	Compute sim.Duration // summed over agents
+	Stall   sim.Duration
+}
+
+// ExecTime returns the wall-clock duration of the run.
+func (r *Report) ExecTime() sim.Duration { return r.End - r.Start }
+
+// TotalIPC returns aggregate retired instructions per core cycle across
+// agents (the Figure 18/19 metric), using a 1 GHz reference clock.
+func (r *Report) TotalIPC(clockHz float64) float64 {
+	if r.End <= r.Start {
+		return 0
+	}
+	cycles := r.ExecTime().Seconds() * clockHz
+	return float64(r.Instrs) / cycles
+}
+
+// runAll interleaves the PEs' execution in simulated-time order on the
+// discrete-event engine: each step is an event at the core's local time,
+// and every step reschedules the core at its new time. Shared resources
+// (MCU, crossbar, backend) therefore see requests in a globally causal
+// arrival order.
+func runAll(pes []*pe.PE) error {
+	eng := sim.NewEngine()
+	var failure error
+	var stepper func(core *pe.PE) func(sim.Time)
+	stepper = func(core *pe.PE) func(sim.Time) {
+		return func(sim.Time) {
+			if failure != nil {
+				return
+			}
+			ok, err := core.Step()
+			if err != nil {
+				failure = err
+				return
+			}
+			if ok {
+				eng.Schedule(core.Now(), stepper(core))
+			}
+		}
+	}
+	for _, c := range pes {
+		eng.Schedule(c.Now(), stepper(c))
+	}
+	eng.Run()
+	return failure
+}
+
+// RunKernel executes kernel k with params p across the agents, starting
+// at `start`. Each agent gets its stream share; the run interleaves agent
+// steps in time order so shared resources (MCU, crossbar, backend) see a
+// realistic arrival pattern. Returns the execution report.
+func (a *Accelerator) RunKernel(start sim.Time, k workload.Kernel, p workload.Params) (*Report, error) {
+	nAgents := a.Agents()
+	if p.Agents != nAgents {
+		p.Agents = nAgents
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+
+	rep := &Report{Start: start}
+	collectSpans := a.cfg.SampleInterval > 0
+	if collectSpans {
+		rep.IPC = stats.NewSeries(a.cfg.SampleInterval)
+	}
+
+	pes := make([]*pe.PE, 0, nAgents)
+	l1s := make([]*cache.Cache, 0, nAgents)
+	l2s := make([]*cache.Cache, 0, nAgents)
+	for i := 0; i < nAgents; i++ {
+		stream, err := workload.NewStream(k, p, i)
+		if err != nil {
+			return nil, err
+		}
+		l2cfg := a.cfg.L2
+		l2cfg.Name = fmt.Sprintf("L2.%d", i)
+		l2, err := cache.New(l2cfg, &mcuPath{a: a, port: i + 1})
+		if err != nil {
+			return nil, err
+		}
+		l1cfg := a.cfg.L1
+		l1cfg.Name = fmt.Sprintf("L1.%d", i)
+		l1, err := cache.New(l1cfg, l2)
+		if err != nil {
+			return nil, err
+		}
+		// PSC launch: the server sleeps the agent, stores the boot
+		// address, and wakes it (Figure 9b); agents start staggered by
+		// the server's serial launch work.
+		bootAt, err := a.psc.Boot(start+sim.Duration(i)*a.cfg.LaunchOverhead, i, a.cfg.LaunchOverhead)
+		if err != nil {
+			return nil, err
+		}
+		core, err := pe.New(i, a.cfg.PE, l1, stream, bootAt)
+		if err != nil {
+			return nil, err
+		}
+		if collectSpans {
+			core.SampleIPC(a.cfg.SampleInterval)
+			core.OnSpan(func(s pe.Span) { rep.Spans = append(rep.Spans, s) })
+		}
+		pes = append(pes, core)
+		l1s = append(l1s, l1)
+		l2s = append(l2s, l2)
+	}
+
+	// Interleave agent execution in time order.
+	if err := runAll(pes); err != nil {
+		return nil, err
+	}
+
+	// Flush caches so results persist in the backend, then drain posted
+	// work.
+	end := start
+	for i, core := range pes {
+		fin := core.Now()
+		d, err := l1s[i].Flush(fin)
+		if err != nil {
+			return nil, err
+		}
+		if d, err = l2s[i].Flush(d); err != nil {
+			return nil, err
+		}
+		run := AgentRun{
+			Instructions: core.Instructions(),
+			Compute:      core.ComputeTime(),
+			Stall:        core.StallTime(),
+			Finished:     d,
+			L1:           l1s[i].Stats(),
+			L2:           l2s[i].Stats(),
+		}
+		rep.Agents = append(rep.Agents, run)
+		rep.Instrs += run.Instructions
+		rep.Compute += run.Compute
+		rep.Stall += run.Stall
+		if err := a.psc.Sleep(d, i); err != nil {
+			return nil, err
+		}
+		if collectSpans {
+			if ipc := core.IPCSeries(); ipc != nil {
+				for b := 0; b < ipc.Len(); b++ {
+					rep.IPC.Accumulate(ipc.BucketStart(b), ipc.At(b))
+				}
+			}
+		}
+		end = sim.Max(end, d)
+	}
+	rep.End = mem.DrainOf(a.backend, end)
+	return rep, nil
+}

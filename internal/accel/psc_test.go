@@ -1,0 +1,106 @@
+package accel
+
+import (
+	"testing"
+
+	"dramless/internal/sim"
+	"dramless/internal/workload"
+)
+
+func TestPSCLifecycle(t *testing.T) {
+	p := newPSC(2)
+	if p.State(0) != StateSleep {
+		t.Fatal("agents must start asleep")
+	}
+	running, err := p.Boot(sim.Microseconds(10), 0, sim.Microseconds(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if running != sim.Microseconds(15) {
+		t.Fatalf("running at %v, want 15us", running)
+	}
+	if p.State(0) != StateRunning {
+		t.Fatalf("state = %v", p.State(0))
+	}
+	if err := p.Sleep(sim.Microseconds(40), 0); err != nil {
+		t.Fatal(err)
+	}
+	at := sim.Microseconds(100)
+	if got := p.Residency(0, StateSleep, at); got != sim.Microseconds(70) {
+		t.Fatalf("sleep residency = %v, want 70us (10 before boot + 60 after)", got)
+	}
+	if got := p.Residency(0, StateBooting, at); got != sim.Microseconds(5) {
+		t.Fatalf("boot residency = %v", got)
+	}
+	if got := p.Residency(0, StateRunning, at); got != sim.Microseconds(25) {
+		t.Fatalf("run residency = %v", got)
+	}
+	if p.Transitions() != 3 {
+		t.Fatalf("transitions = %d", p.Transitions())
+	}
+}
+
+func TestPSCIllegalTransitions(t *testing.T) {
+	p := newPSC(1)
+	if err := p.Sleep(0, 0); err == nil {
+		t.Error("sleeping a sleeping agent accepted")
+	}
+	if _, err := p.Boot(0, 5, 1); err == nil {
+		t.Error("out-of-range agent accepted")
+	}
+	if _, err := p.Boot(10, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Boot(20, 0, 1); err == nil {
+		t.Error("booting a running agent accepted")
+	}
+	if err := p.Sleep(5, 0); err == nil {
+		t.Error("time travel accepted")
+	}
+}
+
+func TestPSCDrivenByRunKernel(t *testing.T) {
+	a := MustNew(Default(), fastBackend())
+	rep, err := a.RunKernel(0, workload.MustByName("trisolv"), workload.Params{Scale: 32 << 10, Agents: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	psc := a.PSC()
+	for i := 0; i < a.Agents(); i++ {
+		if psc.State(i) != StateSleep {
+			t.Fatalf("agent %d not back asleep after the kernel", i)
+		}
+		if psc.Residency(i, StateRunning, rep.End) <= 0 {
+			t.Fatalf("agent %d recorded no running time", i)
+		}
+		if psc.Residency(i, StateBooting, rep.End) != a.Config().LaunchOverhead {
+			t.Fatalf("agent %d boot residency %v, want one launch",
+				i, psc.Residency(i, StateBooting, rep.End))
+		}
+	}
+	// Boot + sleep per agent.
+	if psc.Transitions() != 3*a.Agents() {
+		t.Fatalf("transitions = %d, want %d", psc.Transitions(), 3*a.Agents())
+	}
+}
+
+func TestPSCDrivenByRunJobs(t *testing.T) {
+	a := MustNew(Default(), fastBackend())
+	_, err := a.RunJobs(0, []Job{smallJob("gemver", 3), smallJob("durbin", 3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	psc := a.PSC()
+	booted := 0
+	for i := 0; i < a.Agents(); i++ {
+		if psc.State(i) != StateSleep {
+			t.Fatalf("agent %d not asleep", i)
+		}
+		if psc.Residency(i, StateRunning, sim.Second) > 0 {
+			booted++
+		}
+	}
+	if booted != 6 {
+		t.Fatalf("%d agents ran, want 6 (two 3-agent jobs)", booted)
+	}
+}

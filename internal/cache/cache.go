@@ -1,0 +1,277 @@
+// Package cache implements the set-associative write-back caches of the
+// accelerator's PEs (64 KB L1 and 512 KB L2 in the TMS320C6678-like
+// platform the paper evaluates). Caches are functional and timed: they
+// store real line data, and misses propagate to the lower mem.Device with
+// full timing, so a whole PE -> L1 -> L2 -> PRAM stack moves real bytes
+// with realistic latency.
+package cache
+
+import (
+	"fmt"
+
+	"dramless/internal/mem"
+	"dramless/internal/sim"
+)
+
+// Config describes one cache level.
+type Config struct {
+	Name       string
+	SizeBytes  int
+	LineBytes  int
+	Ways       int
+	HitLatency sim.Duration
+}
+
+// L1Data returns the paper platform's 64 KB 2-way L1 with 64 B lines
+// (1 ns hit at the 1 GHz core clock).
+func L1Data() Config {
+	return Config{Name: "L1", SizeBytes: 64 << 10, LineBytes: 64, Ways: 2, HitLatency: sim.Nanoseconds(1)}
+}
+
+// L2 returns the platform's 512 KB 4-way L2 with 128 B lines (~5 ns hit).
+// The paper's server-side MCU issues 512 B requests per channel by
+// leveraging this cache.
+func L2() Config {
+	return Config{Name: "L2", SizeBytes: 512 << 10, LineBytes: 128, Ways: 4, HitLatency: sim.Nanoseconds(5)}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.SizeBytes <= 0 || c.LineBytes <= 0 || c.Ways <= 0:
+		return fmt.Errorf("cache %s: size/line/ways must be positive", c.Name)
+	case c.LineBytes&(c.LineBytes-1) != 0:
+		return fmt.Errorf("cache %s: line size %d not a power of two", c.Name, c.LineBytes)
+	case c.SizeBytes%(c.LineBytes*c.Ways) != 0:
+		return fmt.Errorf("cache %s: size %d not divisible by ways*line", c.Name, c.SizeBytes)
+	}
+	sets := c.SizeBytes / (c.LineBytes * c.Ways)
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache %s: %d sets not a power of two", c.Name, sets)
+	}
+	return nil
+}
+
+// Stats counts cache activity.
+type Stats struct {
+	Hits       int64
+	Misses     int64
+	Evictions  int64
+	Writebacks int64
+	BytesBelow int64 // bytes moved to/from the lower level
+}
+
+// HitRate returns hits / accesses (0 when idle).
+func (s Stats) HitRate() float64 {
+	t := s.Hits + s.Misses
+	if t == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(t)
+}
+
+type line struct {
+	valid, dirty bool
+	tag          uint64
+	data         []byte
+	lastUse      int64
+}
+
+// Cache is one set-associative write-back, write-allocate cache level in
+// front of a lower mem.Device.
+type Cache struct {
+	cfg   Config
+	lower mem.Device
+	sets  [][]line
+	tick  int64
+	stats Stats
+}
+
+var _ mem.Device = (*Cache)(nil)
+
+// New builds a cache over lower.
+func New(cfg Config, lower mem.Device) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if lower == nil {
+		return nil, fmt.Errorf("cache %s: nil lower level", cfg.Name)
+	}
+	nsets := cfg.SizeBytes / (cfg.LineBytes * cfg.Ways)
+	c := &Cache{cfg: cfg, lower: lower, sets: make([][]line, nsets)}
+	for i := range c.sets {
+		ways := make([]line, cfg.Ways)
+		for w := range ways {
+			ways[w].data = make([]byte, cfg.LineBytes)
+		}
+		c.sets[i] = ways
+	}
+	return c, nil
+}
+
+// MustNew is New for known-good configurations.
+func MustNew(cfg Config, lower mem.Device) *Cache {
+	c, err := New(cfg, lower)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Size implements mem.Device: the cache is transparent, exposing the
+// lower device's space.
+func (c *Cache) Size() uint64 { return c.lower.Size() }
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Config returns the cache configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+func (c *Cache) index(addr uint64) (set int, tag uint64, off int) {
+	lb := uint64(c.cfg.LineBytes)
+	lineAddr := addr / lb
+	return int(lineAddr % uint64(len(c.sets))), lineAddr / uint64(len(c.sets)), int(addr % lb)
+}
+
+func (c *Cache) lineBase(set int, tag uint64) uint64 {
+	return (tag*uint64(len(c.sets)) + uint64(set)) * uint64(c.cfg.LineBytes)
+}
+
+// lookup returns the way holding (set, tag) or -1.
+func (c *Cache) lookup(set int, tag uint64) int {
+	for w := range c.sets[set] {
+		if c.sets[set][w].valid && c.sets[set][w].tag == tag {
+			return w
+		}
+	}
+	return -1
+}
+
+// victim returns the LRU way of the set, preferring invalid ways.
+func (c *Cache) victim(set int) int {
+	best, bestUse := 0, int64(1<<62)
+	for w := range c.sets[set] {
+		if !c.sets[set][w].valid {
+			return w
+		}
+		if c.sets[set][w].lastUse < bestUse {
+			best, bestUse = w, c.sets[set][w].lastUse
+		}
+	}
+	return best
+}
+
+// fill ensures (set, tag) is resident, returning its way and the time the
+// line is ready. Misses fetch from below, evicting (and writing back) the
+// LRU victim first.
+func (c *Cache) fill(at sim.Time, set int, tag uint64) (int, sim.Time, error) {
+	if w := c.lookup(set, tag); w >= 0 {
+		c.stats.Hits++
+		return w, at + c.cfg.HitLatency, nil
+	}
+	c.stats.Misses++
+	w := c.victim(set)
+	ln := &c.sets[set][w]
+	t := at + c.cfg.HitLatency // tag check before going below
+	if ln.valid {
+		c.stats.Evictions++
+		if ln.dirty {
+			c.stats.Writebacks++
+			c.stats.BytesBelow += int64(c.cfg.LineBytes)
+			done, err := c.lower.Write(t, c.lineBase(set, ln.tag), ln.data)
+			if err != nil {
+				return 0, 0, fmt.Errorf("cache %s: writeback: %w", c.cfg.Name, err)
+			}
+			t = done
+		}
+	}
+	base := c.lineBase(set, tag)
+	data, done, err := c.lower.Read(t, base, c.cfg.LineBytes)
+	if err != nil {
+		return 0, 0, fmt.Errorf("cache %s: fill: %w", c.cfg.Name, err)
+	}
+	c.stats.BytesBelow += int64(c.cfg.LineBytes)
+	copy(ln.data, data)
+	ln.valid, ln.dirty, ln.tag = true, false, tag
+	return w, done, nil
+}
+
+// Read implements mem.Device.
+func (c *Cache) Read(at sim.Time, addr uint64, n int) ([]byte, sim.Time, error) {
+	if err := mem.CheckRange("cache "+c.cfg.Name, c.Size(), addr, n); err != nil {
+		return nil, 0, err
+	}
+	out := make([]byte, n)
+	done := at
+	for off := 0; off < n; {
+		set, tag, lo := c.index(addr + uint64(off))
+		take := c.cfg.LineBytes - lo
+		if take > n-off {
+			take = n - off
+		}
+		w, d, err := c.fill(at, set, tag)
+		if err != nil {
+			return nil, 0, err
+		}
+		c.tick++
+		c.sets[set][w].lastUse = c.tick
+		copy(out[off:], c.sets[set][w].data[lo:lo+take])
+		done = sim.Max(done, d)
+		off += take
+	}
+	return out, done, nil
+}
+
+// Write implements mem.Device (write-allocate, write-back).
+func (c *Cache) Write(at sim.Time, addr uint64, data []byte) (sim.Time, error) {
+	if err := mem.CheckRange("cache "+c.cfg.Name, c.Size(), addr, len(data)); err != nil {
+		return 0, err
+	}
+	done := at
+	for off := 0; off < len(data); {
+		set, tag, lo := c.index(addr + uint64(off))
+		take := c.cfg.LineBytes - lo
+		if take > len(data)-off {
+			take = len(data) - off
+		}
+		w, d, err := c.fill(at, set, tag)
+		if err != nil {
+			return 0, err
+		}
+		c.tick++
+		ln := &c.sets[set][w]
+		ln.lastUse = c.tick
+		copy(ln.data[lo:], data[off:off+take])
+		ln.dirty = true
+		done = sim.Max(done, d)
+		off += take
+	}
+	return done, nil
+}
+
+// Flush writes every dirty line back to the lower level and invalidates
+// the cache; the accelerator does this when a kernel completes so results
+// are persistent in PRAM.
+func (c *Cache) Flush(at sim.Time) (done sim.Time, err error) {
+	done = at
+	for set := range c.sets {
+		for w := range c.sets[set] {
+			ln := &c.sets[set][w]
+			if ln.valid && ln.dirty {
+				c.stats.Writebacks++
+				c.stats.BytesBelow += int64(c.cfg.LineBytes)
+				d, err := c.lower.Write(done, c.lineBase(set, ln.tag), ln.data)
+				if err != nil {
+					return 0, err
+				}
+				done = d
+			}
+			ln.valid, ln.dirty = false, false
+		}
+	}
+	return done, nil
+}
+
+// Drain implements mem.Drainer by delegating to the lower level.
+func (c *Cache) Drain() sim.Time { return mem.DrainOf(c.lower, 0) }

@@ -1,0 +1,96 @@
+package energy
+
+import (
+	"math"
+	"testing"
+
+	"dramless/internal/sim"
+)
+
+func TestDefaultsValid(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p := Default()
+	// Order-of-magnitude invariants the experiments rely on.
+	if p.FlashProgramPageJ <= p.PRAMProgramJ {
+		t.Error("flash page program should cost far more than a PRAM row program")
+	}
+	if p.HostActiveWatts <= 8*p.PEActiveWatts {
+		t.Error("host CPU power should exceed the whole accelerator's core power")
+	}
+	if p.PRAMOverwriteJ <= p.PRAMProgramJ {
+		t.Error("overwrite (RESET+SET) must cost more than a fresh program")
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	p := Default()
+	p.PEActiveWatts = 0
+	if err := p.Validate(); err == nil {
+		t.Error("zero PE power accepted")
+	}
+	p = Default()
+	p.PRAMProgramJ = 0
+	if err := p.Validate(); err == nil {
+		t.Error("zero program energy accepted")
+	}
+}
+
+func TestAccountBreakdown(t *testing.T) {
+	a := NewAccount(Default())
+	a.Add(CompPRAM, 2)
+	a.Add(CompCore, 3)
+	a.Add(CompPRAM, 1)
+	if got := a.Breakdown().Get(CompPRAM); got != 3 {
+		t.Fatalf("pram = %v", got)
+	}
+	if a.Total() != 6 {
+		t.Fatalf("total = %v", a.Total())
+	}
+}
+
+func TestAddPower(t *testing.T) {
+	a := NewAccount(Default())
+	a.AddPower(CompHost, 35, 0, sim.Second)
+	if got := a.Total(); math.Abs(got-35) > 1e-9 {
+		t.Fatalf("1s at 35W = %v J", got)
+	}
+	// Zero-length span charges nothing.
+	a.AddPower(CompHost, 35, 5, 5)
+	if got := a.Total(); math.Abs(got-35) > 1e-9 {
+		t.Fatalf("zero span charged energy: %v", got)
+	}
+}
+
+func TestPowerSeries(t *testing.T) {
+	a := NewAccount(Default())
+	if a.PowerSeries() != nil || a.EnergySeries() != nil {
+		t.Fatal("series present before enabling")
+	}
+	a.EnableSeries(sim.Microsecond)
+	a.AddPower(CompCore, 2, 0, 2*sim.Microsecond) // 2 W for 2 us
+	ps := a.PowerSeries()
+	if len(ps) != 2 {
+		t.Fatalf("series length = %d", len(ps))
+	}
+	if math.Abs(ps[0]-2) > 1e-6 || math.Abs(ps[1]-2) > 1e-6 {
+		t.Fatalf("power = %v, want [2 2]", ps)
+	}
+	es := a.EnergySeries()
+	if math.Abs(es[1]-4e-6) > 1e-12 {
+		t.Fatalf("cumulative energy = %v, want 4uJ", es[1])
+	}
+	if a.SeriesInterval() != sim.Microsecond {
+		t.Fatal("interval wrong")
+	}
+}
+
+func TestAddSpanInstantaneous(t *testing.T) {
+	a := NewAccount(Default())
+	a.EnableSeries(sim.Microsecond)
+	a.AddSpan(CompPRAM, 5e-9, 3*sim.Microsecond, 3*sim.Microsecond)
+	if got := a.Breakdown().Get(CompPRAM); got != 5e-9 {
+		t.Fatalf("instantaneous span lost energy: %v", got)
+	}
+}

@@ -1,0 +1,176 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section VI) from the simulation models: the motivation
+// study (Figure 1), the firmware-vs-oracle comparison (Figure 7), the
+// controller scheduling studies (Figures 12 and 13, Section V claims),
+// the ten-system bandwidth/time/energy comparisons (Figures 15-17), the
+// IPC and power time series (Figures 18-21), and Tables I-III. Each
+// experiment returns printable rows; the benchmark harness and the CLI
+// both drive these entry points.
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"dramless/internal/stats"
+	"dramless/internal/system"
+	"dramless/internal/workload"
+)
+
+// Options scales the experiments.
+type Options struct {
+	// Scale is the workload base footprint (bytes).
+	Scale int64
+	// Kernels restricts the workload set (nil = full suite).
+	Kernels []string
+}
+
+// Fast returns options sized for quick benchmark runs.
+func Fast() Options { return Options{Scale: 128 << 10} }
+
+// Full returns options sized closer to the paper's volumes.
+func Full() Options { return Options{Scale: 2 << 20} }
+
+func (o Options) kernels() []workload.Kernel {
+	if len(o.Kernels) == 0 {
+		return workload.Suite()
+	}
+	out := make([]workload.Kernel, 0, len(o.Kernels))
+	for _, n := range o.Kernels {
+		out = append(out, workload.MustByName(n))
+	}
+	return out
+}
+
+func (o Options) config(kind system.Kind) system.Config {
+	cfg := system.DefaultConfig(kind)
+	cfg.Scale = o.Scale
+	cfg.SSDCapacity = 64 << 20
+	for cfg.SSDCapacity < uint64(6*o.Scale) {
+		cfg.SSDCapacity *= 2
+	}
+	return cfg
+}
+
+// Row is one printable result row.
+type Row struct {
+	Label  string
+	Values map[string]float64
+	Order  []string
+}
+
+func newRow(label string) *Row {
+	return &Row{Label: label, Values: map[string]float64{}}
+}
+
+func (r *Row) set(key string, v float64) {
+	if _, ok := r.Values[key]; !ok {
+		r.Order = append(r.Order, key)
+	}
+	r.Values[key] = v
+}
+
+// Table is a named experiment result.
+type Table struct {
+	ID    string // "fig15", "table2", ...
+	Title string
+	Rows  []*Row
+	Notes []string
+}
+
+// Print renders the table.
+func (t *Table) Print(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	if len(t.Rows) > 0 {
+		cols := t.Rows[0].Order
+		fmt.Fprintf(w, "%-22s", "")
+		for _, c := range cols {
+			fmt.Fprintf(w, " %14s", c)
+		}
+		fmt.Fprintln(w)
+		for _, r := range t.Rows {
+			fmt.Fprintf(w, "%-22s", r.Label)
+			for _, c := range cols {
+				fmt.Fprintf(w, " %14.4g", r.Values[c])
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+}
+
+// JSON renders the table as a stable machine-readable document: id,
+// title, ordered column names, per-row label/value maps and the notes.
+func (t *Table) JSON() ([]byte, error) {
+	type jsonRow struct {
+		Label  string             `json:"label"`
+		Values map[string]float64 `json:"values"`
+	}
+	doc := struct {
+		ID      string    `json:"id"`
+		Title   string    `json:"title"`
+		Columns []string  `json:"columns"`
+		Rows    []jsonRow `json:"rows"`
+		Notes   []string  `json:"notes,omitempty"`
+	}{ID: t.ID, Title: t.Title, Notes: t.Notes}
+	if len(t.Rows) > 0 {
+		doc.Columns = t.Rows[0].Order
+	}
+	for _, r := range t.Rows {
+		doc.Rows = append(doc.Rows, jsonRow{Label: r.Label, Values: r.Values})
+	}
+	return json.MarshalIndent(doc, "", "  ")
+}
+
+// Summary returns a one-line digest (means over rows of each column).
+func (t *Table) Summary() string {
+	if len(t.Rows) == 0 {
+		return t.ID + ": empty"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s:", t.ID)
+	for _, c := range t.Rows[0].Order {
+		var vs []float64
+		for _, r := range t.Rows {
+			vs = append(vs, r.Values[c])
+		}
+		fmt.Fprintf(&sb, " %s=%.3g", c, stats.Mean(vs))
+	}
+	return sb.String()
+}
+
+// matrix runs (and memoizes) system x kernel results.
+type matrix struct {
+	o    Options
+	runs map[string]*system.Result
+}
+
+func newMatrix(o Options) *matrix { return &matrix{o: o, runs: map[string]*system.Result{}} }
+
+func (m *matrix) get(kind system.Kind, k workload.Kernel) (*system.Result, error) {
+	key := kind.String() + "/" + k.Name
+	if r, ok := m.runs[key]; ok {
+		return r, nil
+	}
+	r, err := system.Run(m.o.config(kind), k)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", key, err)
+	}
+	m.runs[key] = r
+	return r, nil
+}
+
+// sortedKeys helps deterministic notes.
+func sortedKeys[V any](m map[string]V) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}

@@ -1,0 +1,14 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+)
+
+func TestFig15Full(t *testing.T) {
+	tab, err := Fig15(Fast())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab.Print(os.Stdout)
+}

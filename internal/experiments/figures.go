@@ -1,0 +1,334 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dramless/internal/energy"
+	"dramless/internal/memctrl"
+	"dramless/internal/sim"
+	"dramless/internal/stats"
+	"dramless/internal/system"
+	"dramless/internal/workload"
+)
+
+// Fig01 reproduces the motivation study: application performance and
+// energy of a real accelerated system (Hetero) normalized to an ideal
+// system whose accelerator memory already holds all data. The paper
+// reports up to 74% performance degradation and ~9x energy.
+func Fig01(o Options) (*Table, error) {
+	t := &Table{ID: "fig01", Title: "accelerated system vs ideal (normalized)"}
+	m := newMatrix(o)
+	var perf, en []float64
+	for _, k := range o.kernels() {
+		real, err := m.get(system.Hetero, k)
+		if err != nil {
+			return nil, err
+		}
+		ideal, err := m.get(system.Ideal, k)
+		if err != nil {
+			return nil, err
+		}
+		r := newRow(k.Name)
+		p := ideal.Total.Seconds() / real.Total.Seconds() // normalized perf
+		e := real.Energy.Total() / ideal.Energy.Total()   // normalized energy
+		r.set("norm-perf", p)
+		r.set("norm-energy", e)
+		t.Rows = append(t.Rows, r)
+		perf = append(perf, p)
+		en = append(en, e)
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("mean normalized performance %.2f (degradation %.0f%%), mean normalized energy %.1fx (paper: up to 74%% degradation, ~9x energy)",
+			stats.Mean(perf), (1-stats.Mean(perf))*100, stats.Mean(en)))
+	return t, nil
+}
+
+// Fig07 reproduces the firmware study: performance degradation of
+// managing the PRAM subsystem with traditional SSD firmware versus the
+// oracle hardware-automated controller (the paper reports up to 80%).
+func Fig07(o Options) (*Table, error) {
+	t := &Table{ID: "fig07", Title: "firmware-managed PRAM vs oracle controller"}
+	m := newMatrix(o)
+	var degr []float64
+	for _, k := range o.kernels() {
+		fw, err := m.get(system.DRAMLessFirmware, k)
+		if err != nil {
+			return nil, err
+		}
+		oracle, err := m.get(system.DRAMLess, k)
+		if err != nil {
+			return nil, err
+		}
+		r := newRow(k.Name)
+		d := 1 - oracle.Total.Seconds()/fw.Total.Seconds()
+		r.set("degradation", d)
+		t.Rows = append(t.Rows, r)
+		degr = append(degr, d)
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf("mean degradation %.0f%%, max %.0f%% (paper: up to 80%%)",
+		stats.Mean(degr)*100, stats.Percentile(degr, 1)*100))
+	return t, nil
+}
+
+// Fig12 reproduces the multi-resource-aware interleaving timing diagram
+// as a measurement: two requests to different partitions of the same
+// chip, bare-metal versus interleaved.
+func Fig12(Options) (*Table, error) {
+	t := &Table{ID: "fig12", Title: "two-request overlap on one chip (ns)"}
+	elapsed := func(s memctrl.Scheduler) (sim.Duration, error) {
+		cfg := memctrl.DefaultConfig(s)
+		cfg.Geometry.RowsPerModule = 1 << 16
+		cfg.Prefetch = false
+		sub, err := memctrl.New(cfg)
+		if err != nil {
+			return 0, err
+		}
+		// Module-local rows 0 and 1 of (ch0, pkg0): partitions 0 and 1,
+		// queued together as the controller would see them.
+		_, done, err := sub.ReadScatter(0, []uint64{0, 1024}, 32)
+		return done, err
+	}
+	serial, err := elapsed(memctrl.Noop)
+	if err != nil {
+		return nil, err
+	}
+	over, err := elapsed(memctrl.Interleave)
+	if err != nil {
+		return nil, err
+	}
+	r := newRow("req0+req1")
+	r.set("bare-metal-ns", serial.Nanos())
+	r.set("interleaved-ns", over.Nanos())
+	r.set("hidden-frac", 1-float64(over)/float64(serial))
+	t.Rows = append(t.Rows, r)
+	t.Notes = append(t.Notes, "paper: interleaving hides array access behind transfer, ~40% of the memory access latency")
+	return t, nil
+}
+
+// Fig13 reproduces the scheduler study: data-processing bandwidth of the
+// DRAM-less subsystem under Bare-metal / Interleaving / Selective-erasing
+// / Final, plus each workload's write ratio (the circles).
+func Fig13(o Options) (*Table, error) {
+	t := &Table{ID: "fig13", Title: "scheduler bandwidth, normalized to Bare-metal"}
+	scheds := []memctrl.Scheduler{memctrl.Noop, memctrl.Interleave, memctrl.SelErase, memctrl.Final}
+	gains := map[memctrl.Scheduler][]float64{}
+	for _, k := range o.kernels() {
+		row := newRow(k.Name)
+		var base float64
+		for _, s := range scheds {
+			cfg := o.config(system.DRAMLess)
+			cfg.Scheduler = s
+			res, err := system.Run(cfg, k)
+			if err != nil {
+				return nil, err
+			}
+			bw := res.BandwidthMBps()
+			if s == memctrl.Noop {
+				base = bw
+			}
+			norm := bw / base
+			row.set(s.String(), norm)
+			gains[s] = append(gains[s], norm)
+		}
+		p := workload.Params{Scale: o.Scale, Agents: 7}
+		row.set("write-ratio", k.WriteRatio(p))
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf(
+		"mean gain over Bare-metal: Interleaving %.0f%%, Selective-erasing %.0f%%, Final %.0f%% (paper: 54%% max / 57%% / 77%%)",
+		(stats.Mean(gains[memctrl.Interleave])-1)*100,
+		(stats.Mean(gains[memctrl.SelErase])-1)*100,
+		(stats.Mean(gains[memctrl.Final])-1)*100))
+	return t, nil
+}
+
+// Fig15 reproduces the headline throughput comparison: the ten systems'
+// data-processing bandwidth normalized to Hetero.
+func Fig15(o Options) (*Table, error) {
+	t := &Table{ID: "fig15", Title: "throughput normalized to Hetero"}
+	m := newMatrix(o)
+	kinds := system.Fig15Kinds()
+	norm := map[system.Kind][]float64{}
+	for _, k := range o.kernels() {
+		base, err := m.get(system.Hetero, k)
+		if err != nil {
+			return nil, err
+		}
+		row := newRow(k.Name)
+		for _, kind := range kinds {
+			res, err := m.get(kind, k)
+			if err != nil {
+				return nil, err
+			}
+			v := res.BandwidthMBps() / base.BandwidthMBps()
+			row.set(kind.String(), v)
+			norm[kind] = append(norm[kind], v)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	dl := stats.Mean(norm[system.DRAMLess])
+	hd := stats.Mean(norm[system.Heterodirect])
+	t.Notes = append(t.Notes, fmt.Sprintf(
+		"DRAM-less vs Hetero %.0f%%, vs Heterodirect %.0f%% (paper: +93%% and +47%%)",
+		(dl-1)*100, (dl/hd-1)*100))
+	return t, nil
+}
+
+// Fig16 reproduces the execution-time decomposition.
+func Fig16(o Options) (*Table, error) {
+	t := &Table{ID: "fig16", Title: "execution time decomposition (fraction of total)"}
+	m := newMatrix(o)
+	comps := []string{system.TimeLoad, system.TimeCompute, system.TimeStall, system.TimeStore}
+	for _, kind := range system.Fig15Kinds() {
+		agg := stats.NewBreakdown()
+		for _, k := range o.kernels() {
+			res, err := m.get(kind, k)
+			if err != nil {
+				return nil, err
+			}
+			agg.AddAll(res.Time)
+		}
+		row := newRow(kind.String())
+		for _, c := range comps {
+			row.set(c, agg.Share(c))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes, "paper: heterogeneous systems spend most time in data movement; DRAM-less spends it computing")
+	return t, nil
+}
+
+// Fig17 reproduces the energy decomposition, normalized to Hetero.
+func Fig17(o Options) (*Table, error) {
+	t := &Table{ID: "fig17", Title: "energy decomposition (J, plus total normalized to Hetero)"}
+	m := newMatrix(o)
+	comps := []string{
+		energy.CompHost, energy.CompHostDRAM, energy.CompPCIe, energy.CompSSD,
+		energy.CompCore, energy.CompCache, energy.CompDRAM, energy.CompFlash,
+		energy.CompPRAM, energy.CompFirmware,
+	}
+	baseTotals := map[string]float64{}
+	for _, k := range o.kernels() {
+		res, err := m.get(system.Hetero, k)
+		if err != nil {
+			return nil, err
+		}
+		baseTotals[k.Name] = res.Energy.Total()
+	}
+	var dlNorm, hdNorm []float64
+	for _, kind := range system.Fig15Kinds() {
+		row := newRow(kind.String())
+		agg := stats.NewBreakdown()
+		var norms []float64
+		for _, k := range o.kernels() {
+			res, err := m.get(kind, k)
+			if err != nil {
+				return nil, err
+			}
+			agg.AddAll(res.Energy.Breakdown())
+			norms = append(norms, res.Energy.Total()/baseTotals[k.Name])
+		}
+		for _, c := range comps {
+			row.set(c, agg.Get(c))
+		}
+		row.set("norm-total", stats.Mean(norms))
+		t.Rows = append(t.Rows, row)
+		if kind == system.DRAMLess {
+			dlNorm = norms
+		}
+		if kind == system.Heterodirect {
+			hdNorm = norms
+		}
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf(
+		"DRAM-less energy = %.0f%% of Hetero, %.0f%% of Heterodirect (paper: 19%% of the advanced accelerated systems)",
+		stats.Mean(dlNorm)*100, stats.Mean(dlNorm)/stats.Mean(hdNorm)*100))
+	return t, nil
+}
+
+// timeSeriesKinds are the systems shown in the Figure 18-21 time series.
+func timeSeriesKinds() []system.Kind {
+	return []system.Kind{
+		system.IntegratedSLC, system.IntegratedMLC, system.IntegratedTLC,
+		system.PageBuffer, system.NORIntf, system.DRAMLess,
+	}
+}
+
+// figIPC builds an IPC time-series table for one workload.
+func figIPC(id, kname string, o Options) (*Table, error) {
+	t := &Table{ID: id, Title: "total IPC over time, " + kname}
+	k := workload.MustByName(kname)
+	for _, kind := range timeSeriesKinds() {
+		cfg := o.config(kind)
+		cfg.SampleInterval = 50 * sim.Microsecond
+		res, err := system.Run(cfg, k)
+		if err != nil {
+			return nil, err
+		}
+		row := newRow(kind.String())
+		// Mean IPC, sustained (p50) and the stall fraction (zero-IPC buckets).
+		cycles := cfg.SampleInterval.Seconds() * 1e9
+		vals := res.Report.IPC.Values()
+		ipc := make([]float64, len(vals))
+		zero := 0
+		for i, v := range vals {
+			ipc[i] = v / cycles
+			if ipc[i] < 0.05 {
+				zero++
+			}
+		}
+		row.set("mean-ipc", stats.Mean(ipc))
+		row.set("p50-ipc", stats.Percentile(ipc, 0.5))
+		row.set("idle-frac", float64(zero)/float64(max(1, len(ipc))))
+		row.set("samples", float64(len(ipc)))
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes,
+		"paper: page-granule systems stall on storage (zero-IPC periods); DRAM-less sustains ~2 total IPC")
+	return t, nil
+}
+
+// Fig18 reproduces the read-intensive IPC time series (gemver).
+func Fig18(o Options) (*Table, error) { return figIPC("fig18", "gemver", o) }
+
+// Fig19 reproduces the write-intensive IPC time series (doitg).
+func Fig19(o Options) (*Table, error) { return figIPC("fig19", "doitg", o) }
+
+// figPower builds the power / cumulative-energy capture for one workload
+// over a small (16 KiB-class) footprint, as in Figures 20/21.
+func figPower(id, kname string, o Options) (*Table, error) {
+	t := &Table{ID: id, Title: "core power and total energy, " + kname + " (16KB-class capture)"}
+	k := workload.MustByName(kname)
+	for _, kind := range timeSeriesKinds() {
+		cfg := o.config(kind)
+		cfg.Scale = 16 << 10 // the paper captures the first 16 KB of processing
+		cfg.SampleInterval = 10 * sim.Microsecond
+		res, err := system.Run(cfg, k)
+		if err != nil {
+			return nil, err
+		}
+		row := newRow(kind.String())
+		ps := res.Energy.PowerSeries()
+		row.set("mean-power-w", stats.Mean(ps))
+		row.set("peak-power-w", stats.Percentile(ps, 1))
+		row.set("total-energy-uj", res.Energy.Total()*1e6)
+		row.set("completion-us", res.Total.Micros())
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes,
+		"paper: NOR-intf draws the least power but burns more energy via longer runtime; DRAM-less completes 50-88% sooner")
+	return t, nil
+}
+
+// Fig20 reproduces the read-intensive power/energy capture (gemver).
+func Fig20(o Options) (*Table, error) { return figPower("fig20", "gemver", o) }
+
+// Fig21 reproduces the write-intensive power/energy capture (doitg).
+func Fig21(o Options) (*Table, error) { return figPower("fig21", "doitg", o) }
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

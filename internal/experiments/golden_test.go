@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+// The simulation is fully deterministic, so key derived quantities are
+// exact. These golden values pin down the timing model: any change that
+// shifts them is either a deliberate recalibration (update the values and
+// EXPERIMENTS.md together) or a regression.
+
+func golden(t *testing.T, got, want, tol float64, what string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %v, want %v (±%v)", what, got, want, tol)
+	}
+}
+
+func TestGoldenFig12(t *testing.T) {
+	tab, err := Fig12(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := tab.Rows[0]
+	golden(t, r.Values["bare-metal-ns"], 258, 0.5, "fig12 bare-metal")
+	golden(t, r.Values["interleaved-ns"], 154, 0.5, "fig12 interleaved")
+	golden(t, r.Values["hidden-frac"], 0.4031, 0.001, "fig12 hidden fraction")
+}
+
+func TestGoldenSec5Interleave(t *testing.T) {
+	tab, err := Sec5Interleave(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := tab.Rows[0]
+	golden(t, r.Values["bare-metal-ns"], 1559, 1, "512B bare-metal read")
+	golden(t, r.Values["interleaved-ns"], 464, 1, "512B interleaved read")
+	golden(t, r.Values["hidden-frac"], 0.7024, 0.001, "hiding fraction")
+}
+
+func TestGoldenSec5SelErase(t *testing.T) {
+	tab, err := Sec5SelErase(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := tab.Rows[0]
+	golden(t, r.Values["plain-us"], 18, 1e-9, "plain overwrite")
+	golden(t, r.Values["pre-erased-us"], 10, 1e-9, "pre-erased overwrite")
+	golden(t, r.Values["reduction"], 1.0-10.0/18.0, 1e-9, "reduction")
+}
+
+func TestGoldenTable2Derived(t *testing.T) {
+	tab, err := Table2(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := tab.Rows[0].Values
+	golden(t, v["tCK-ns"], 2.5, 0, "tCK")
+	golden(t, v["tRCD-ns"], 80, 0, "tRCD")
+	golden(t, v["RL-cycles"], 6, 0, "RL")
+	golden(t, v["partitions"], 16, 0, "partitions")
+	golden(t, v["RAB"], 4, 0, "RABs")
+}

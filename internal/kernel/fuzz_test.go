@@ -1,0 +1,40 @@
+package kernel
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUnpack hammers the image parser with arbitrary bytes: it must never
+// panic or over-read, and anything it accepts must re-pack/unpack
+// consistently (the server trusts unpacked images for code loading).
+func FuzzUnpack(f *testing.F) {
+	good, _ := Pack(sample())
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add([]byte("DLK1"))
+	f.Add(append(append([]byte{}, good[:20]...), 0xFF))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		img, err := Unpack(data)
+		if err != nil {
+			return
+		}
+		repacked, err := Pack(img)
+		if err != nil {
+			t.Fatalf("accepted image does not re-pack: %v", err)
+		}
+		again, err := Unpack(repacked)
+		if err != nil {
+			t.Fatalf("re-packed image does not parse: %v", err)
+		}
+		if len(again.Apps) != len(img.Apps) || !bytes.Equal(again.Shared, img.Shared) {
+			t.Fatal("pack/unpack not idempotent")
+		}
+		for i := range img.Apps {
+			if again.Apps[i].BootAddr != img.Apps[i].BootAddr ||
+				!bytes.Equal(again.Apps[i].Code, img.Apps[i].Code) {
+				t.Fatalf("app %d drifted through repack", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,522 @@
+package memctrl
+
+import (
+	"fmt"
+
+	"dramless/internal/pram"
+	"dramless/internal/sim"
+)
+
+// channel is one LPDDR2-NVM channel: a command/address bus and a 16-bit
+// data bus shared by all packages on the channel (Figure 14), plus the
+// per-module controller state of the command generator.
+type channel struct {
+	cfg     Config
+	cmdBus  *sim.Resource // CA bus: one command packet per tCK
+	dataBus *sim.Resource // shared dq[15:0]: one 32 B burst per tBURST
+	modules []*pram.Module
+
+	// modLastDone serializes operations per chip for the bare-metal
+	// (Noop) policy: a chip's next operation may not begin before its
+	// previous one fully completed (Figure 12's non-interleaved case).
+	// Different chips still proceed in parallel - that is the device's
+	// bank-level parallelism, not a scheduler optimization.
+	modLastDone []sim.Time
+	lastDone    sim.Time // channel-wide completion frontier (drain)
+
+	// nextBA is the round-robin RAB/RDB victim pointer per module.
+	nextBA []uint8
+
+	// intent reports whether a module-local row is inside a declared
+	// write-intent region and when the declaration was made (set by the
+	// subsystem for selective erasing).
+	intent func(mod int, rowAddr uint64) (declaredAt sim.Time, ok bool)
+
+	stats Stats
+}
+
+func newChannel(idx int, cfg Config) (*channel, error) {
+	ch := &channel{
+		cfg:         cfg,
+		cmdBus:      sim.NewResource(fmt.Sprintf("ch%d.ca", idx)),
+		dataBus:     sim.NewResource(fmt.Sprintf("ch%d.dq", idx)),
+		nextBA:      make([]uint8, cfg.Params.Packages),
+		modLastDone: make([]sim.Time, cfg.Params.Packages),
+	}
+	for p := 0; p < cfg.Params.Packages; p++ {
+		m, err := pram.NewModule(cfg.Geometry, cfg.Params)
+		if err != nil {
+			return nil, err
+		}
+		m.ShareBus(ch.dataBus)
+		m.EnableWritePausing(cfg.WritePausing)
+		ch.modules = append(ch.modules, m)
+	}
+	return ch, nil
+}
+
+// issue charges one command packet on the CA bus and returns when the
+// device sees it.
+func (ch *channel) issue(at sim.Time) sim.Time {
+	start := ch.cmdBus.Acquire(at, ch.cfg.Params.TCK)
+	return start + ch.cfg.Params.TCK
+}
+
+// gate applies the scheduling policy's ordering constraint to an
+// operation on module mod that wants to start at `at`.
+func (ch *channel) gate(at sim.Time, mod int) sim.Time {
+	if !ch.cfg.Scheduler.Interleaving() {
+		return sim.Max(at, ch.modLastDone[mod])
+	}
+	return at
+}
+
+// complete records an operation completion for the Noop ordering.
+func (ch *channel) complete(done sim.Time, mod int) {
+	if done > ch.modLastDone[mod] {
+		ch.modLastDone[mod] = done
+	}
+	if done > ch.lastDone {
+		ch.lastDone = done
+	}
+}
+
+// windowBA returns the RAB/RDB pair reserved for overlay-window flows, so
+// write flows keep their window row bound and phase-skip every step.
+func (ch *channel) windowBA() uint8 { return uint8(ch.cfg.Params.NumRAB - 1) }
+
+// victimBA picks the next RAB/RDB pair for array reads, rotating over the
+// pairs not reserved for the overlay window.
+func (ch *channel) victimBA(mod int) uint8 {
+	n := uint8(ch.cfg.Params.NumRAB - 1)
+	if n == 0 {
+		return 0
+	}
+	ba := ch.nextBA[mod] % n
+	ch.nextBA[mod] = (ba + 1) % n
+	return ba
+}
+
+// bindRow makes module mod's RDB hold rowAddr, skipping whatever phases
+// the buffered state allows, and returns the buffer pair and the time the
+// row data is available.
+func (ch *channel) bindRow(at sim.Time, mod int, rowAddr uint64) (ba uint8, done sim.Time, err error) {
+	m := ch.modules[mod]
+	upper, lower := ch.cfg.Geometry.SplitRow(rowAddr)
+
+	if ch.cfg.PhaseSkipping {
+		if hit, ok := m.RDBHit(rowAddr); ok {
+			// Both addressing phases skipped: data is already sensed.
+			ch.stats.ActivateSkips++
+			return hit, at, nil
+		}
+		if hit, ok := m.RABHit(upper); ok {
+			// Pre-active phase skipped: reuse the loaded RAB.
+			ch.stats.PreactiveSkips++
+			devAt := ch.issue(at)
+			done, err = m.Activate(devAt, hit, lower)
+			return hit, done, err
+		}
+	}
+	ch.stats.FullAccesses++
+	ba = ch.victimBA(mod)
+	devAt := ch.issue(at)
+	done, err = m.Preactive(devAt, ba, upper)
+	if err != nil {
+		return 0, 0, err
+	}
+	devAt = ch.issue(done)
+	done, err = m.Activate(devAt, ba, lower)
+	return ba, done, err
+}
+
+// rowReq is one row-granule read within a batch.
+type rowReq struct {
+	mod  int
+	row  uint64
+	col  int
+	n    int
+	data []byte
+	done sim.Time
+
+	ba       uint8
+	preDone  sim.Time // pre-active complete (phase 1)
+	rowReady sim.Time // activate complete (phase 2)
+	needAct  bool
+}
+
+// readRow reads n bytes at column col of module-local row rowAddr on
+// module mod, starting no earlier than at.
+func (ch *channel) readRow(at sim.Time, mod int, rowAddr uint64, col, n int) (data []byte, done sim.Time, err error) {
+	reqs := []rowReq{{mod: mod, row: rowAddr, col: col, n: n}}
+	if err := ch.readBatch(at, reqs); err != nil {
+		return nil, 0, err
+	}
+	return reqs[0].data, reqs[0].done, nil
+}
+
+// readBatch processes a set of row reads. With an interleaving scheduler
+// the batch is issued phase by phase in waves of at most one row per
+// module, so one partition's tRP+tRCD overlaps another row's data burst
+// exactly as in Figure 12. Without interleaving each request runs to
+// completion before the next starts (bare-metal ordering).
+func (ch *channel) readBatch(at sim.Time, reqs []rowReq) error {
+	if !ch.cfg.Scheduler.Interleaving() {
+		for i := range reqs {
+			if err := ch.readOne(&reqs[i], ch.gate(at, reqs[i].mod)); err != nil {
+				return err
+			}
+			ch.complete(reqs[i].done, reqs[i].mod)
+		}
+		return nil
+	}
+	// Split into waves: at most NumRAB-1 outstanding rows per module per
+	// wave (one pair stays reserved for the overlay window), so a wave
+	// can bind each of its rows to a distinct RDB. Requests land in
+	// waves round-robin per module; waves pipeline through the
+	// partition/bus timelines, so later sensing overlaps earlier bursts
+	// both across modules and across this module's own buffer pairs
+	// (Figure 12).
+	perMod := ch.cfg.Params.NumRAB - 1
+	if perMod < 1 {
+		perMod = 1
+	}
+	waves := make([][]*rowReq, 0, 2)
+	seen := map[int]int{}
+	for i := range reqs {
+		w := seen[reqs[i].mod] / perMod
+		seen[reqs[i].mod]++
+		for len(waves) <= w {
+			waves = append(waves, nil)
+		}
+		waves[w] = append(waves[w], &reqs[i])
+	}
+	for _, wave := range waves {
+		if err := ch.readWave(at, wave); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readOne runs all three phases of a single request back to back.
+func (ch *channel) readOne(r *rowReq, at sim.Time) error {
+	m := ch.modules[r.mod]
+	ba, rowReady, err := ch.bindRow(at, r.mod, r.row)
+	if err != nil {
+		return err
+	}
+	devAt := ch.issue(rowReady)
+	r.data, r.done, err = m.ReadBurst(devAt, ba, r.col, r.n)
+	if err != nil {
+		return err
+	}
+	ch.stats.Reads++
+	ch.stats.BytesRead += int64(r.n)
+	if ch.cfg.Prefetch && ch.cfg.Scheduler.Interleaving() {
+		ch.prefetch(rowReady, r.mod, r.row+1)
+	}
+	return nil
+}
+
+// readWave issues one wave phase by phase. A wave may carry several rows
+// of one module (bound to distinct buffer pairs); the claimed mask keeps
+// one request's activation from rebinding a pair another request in the
+// wave is still going to burst from.
+func (ch *channel) readWave(at sim.Time, wave []*rowReq) error {
+	claimed := map[int]uint8{}
+	// Phase 1: pre-active (or skip via RAB/RDB state).
+	for _, r := range wave {
+		m := ch.modules[r.mod]
+		upper, _ := ch.cfg.Geometry.SplitRow(r.row)
+		if ch.cfg.PhaseSkipping {
+			if ba, ok := m.RDBHit(r.row); ok && claimed[r.mod]&(1<<ba) == 0 {
+				ch.stats.ActivateSkips++
+				r.ba, r.rowReady, r.needAct = ba, at, false
+				claimed[r.mod] |= 1 << ba
+				continue
+			}
+			if ba, ok := m.RABHit(upper); ok && claimed[r.mod]&(1<<ba) == 0 {
+				ch.stats.PreactiveSkips++
+				r.ba, r.preDone, r.needAct = ba, at, true
+				claimed[r.mod] |= 1 << ba
+				continue
+			}
+		}
+		ch.stats.FullAccesses++
+		r.ba = ch.victimBA(r.mod)
+		for i := 0; claimed[r.mod]&(1<<r.ba) != 0 && i < ch.cfg.Params.NumRAB; i++ {
+			r.ba = ch.victimBA(r.mod)
+		}
+		claimed[r.mod] |= 1 << r.ba
+		r.needAct = true
+		devAt := ch.issue(at)
+		done, err := m.Preactive(devAt, r.ba, upper)
+		if err != nil {
+			return err
+		}
+		r.preDone = done
+	}
+	// Phase 2: activate (array sensing, parallel across partitions).
+	for _, r := range wave {
+		if !r.needAct {
+			continue
+		}
+		_, lower := ch.cfg.Geometry.SplitRow(r.row)
+		devAt := ch.issue(r.preDone)
+		done, err := ch.modules[r.mod].Activate(devAt, r.ba, lower)
+		if err != nil {
+			return err
+		}
+		r.rowReady = done
+	}
+	// Phase 3: read bursts, serialized on the shared DQ bus while later
+	// waves' sensing proceeds underneath.
+	for _, r := range wave {
+		devAt := ch.issue(r.rowReady)
+		data, done, err := ch.modules[r.mod].ReadBurst(devAt, r.ba, r.col, r.n)
+		if err != nil {
+			return err
+		}
+		r.data, r.done = data, done
+		ch.stats.Reads++
+		ch.stats.BytesRead += int64(r.n)
+	}
+	// Background: sequential next-row prefetch into spare RDBs.
+	if ch.cfg.Prefetch {
+		for _, r := range wave {
+			ch.prefetch(r.rowReady, r.mod, r.row+1)
+		}
+	}
+	return nil
+}
+
+// prefetch speculatively senses the next sequential module-local row into
+// a spare RDB while the current burst occupies the bus. It always uses a
+// fresh victim pair (reusing a RAB-hit pair would evict the row a demand
+// read just bound). It is fire and forget: failures (e.g. end of module)
+// are ignored and nothing blocks on its completion.
+func (ch *channel) prefetch(at sim.Time, mod int, rowAddr uint64) {
+	m := ch.modules[mod]
+	if ch.cfg.Geometry.CheckRow(rowAddr) != nil {
+		return
+	}
+	if _, ok := m.RDBHit(rowAddr); ok {
+		return
+	}
+	upper, lower := ch.cfg.Geometry.SplitRow(rowAddr)
+	ba := ch.victimBA(mod)
+	devAt := ch.issue(at)
+	done, err := m.Preactive(devAt, ba, upper)
+	if err != nil {
+		return
+	}
+	devAt = ch.issue(done)
+	if _, err = m.Activate(devAt, ba, lower); err != nil {
+		return
+	}
+	ch.stats.Prefetches++
+}
+
+// writeRow programs data (a full row or a row prefix ending the request)
+// to module-local row rowAddr. Writes narrower than the row trigger a
+// charged read-modify-write, since the program unit granularity is the
+// word but the program buffer commits from the row start. The returned
+// time is when the controller accepts the write (the execute burst
+// completes); the array program itself is posted and tracked by the
+// module's program-buffer availability.
+func (ch *channel) writeRow(at sim.Time, mod int, rowAddr uint64, col int, data []byte) (done sim.Time, err error) {
+	at = ch.gate(at, mod)
+	m := ch.modules[mod]
+	rb := ch.cfg.Geometry.RowBytes
+
+	full := data
+	fullRow := col == 0 && len(data) == rb
+	if !fullRow {
+		// Read-modify-write: fetch the row through the regular protocol,
+		// merge, program whole.
+		cur, readDone, err := ch.readRow(at, mod, rowAddr, 0, rb)
+		if err != nil {
+			return 0, err
+		}
+		copy(cur[col:], data)
+		full = cur
+		at = readDone
+	}
+
+	// On-line selective erasing (Section V-A): a full-row overwrite of a
+	// declared write-intent row whose previous program left a long-enough
+	// idle gap was pre-RESET in the background, so this program is
+	// SET-only. Partial rows are excluded (their RMW read needs the old
+	// data).
+	if fullRow {
+		ch.maybePreErase(at, mod, rowAddr)
+	}
+
+	// The program buffer must be free; array programs themselves overlap
+	// across partitions.
+	at = sim.Max(at, m.ProgBufFreeAt())
+	done, err = m.ProgramRow(at, ch.windowBA(), rowAddr, full)
+	if err != nil {
+		return 0, err
+	}
+	ch.stats.Writes++
+	ch.stats.BytesWritten += int64(len(data))
+
+	if !ch.cfg.Scheduler.Interleaving() {
+		// Bare-metal and selective-erasing do not overlap the chip's next
+		// operation with this program flow's bus activity, but the array
+		// program itself is posted on every policy (the program buffer
+		// decouples it).
+		ch.complete(done, mod)
+	}
+	return done, nil
+}
+
+// writeReq is one full-row program within a batch.
+type writeReq struct {
+	mod   int
+	row   uint64
+	data  []byte
+	paddr uint64 // physical byte address (wear accounting)
+	done  sim.Time
+	t     sim.Time // per-request flow progress
+}
+
+// writeBatch programs a set of full rows. With an interleaving scheduler
+// the three flow steps (register-row burst, program-buffer burst,
+// execute) issue wave by wave across modules, so flows to different
+// packages pipeline on the shared channel buses; without interleaving
+// each flow runs to completion before the next starts.
+func (ch *channel) writeBatch(at sim.Time, reqs []writeReq) error {
+	if !ch.cfg.Scheduler.Interleaving() {
+		for i := range reqs {
+			d, err := ch.writeRow(at, reqs[i].mod, reqs[i].row, 0, reqs[i].data)
+			if err != nil {
+				return err
+			}
+			reqs[i].done = d
+		}
+		return nil
+	}
+	// Waves: at most one row per module per wave.
+	waves := make([][]*writeReq, 0, 2)
+	seen := map[int]int{}
+	for i := range reqs {
+		w := seen[reqs[i].mod]
+		seen[reqs[i].mod] = w + 1
+		for len(waves) <= w {
+			waves = append(waves, nil)
+		}
+		waves[w] = append(waves[w], &reqs[i])
+	}
+	for _, wave := range waves {
+		if err := ch.writeWave(at, wave); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeWave issues one wave's program flows step by step.
+func (ch *channel) writeWave(at sim.Time, wave []*writeReq) error {
+	ba := ch.windowBA()
+	// Selective erasing decisions first (no bus activity).
+	for _, r := range wave {
+		ch.maybePreErase(at, r.mod, r.row)
+	}
+	// Step 1: register-row burst per module (cmd + data bus interleave).
+	for _, r := range wave {
+		m := ch.modules[r.mod]
+		start := sim.Max(at, m.ProgBufFreeAt())
+		d, err := m.WindowWrite(ch.issue(start), ba, pram.RegCode, pram.ProgramHeader(r.row, len(r.data)))
+		if err != nil {
+			return err
+		}
+		r.t = d
+	}
+	// Step 2: program-buffer burst per module.
+	for _, r := range wave {
+		d, err := ch.modules[r.mod].WindowWrite(ch.issue(r.t), ba, pram.ProgBufOffset, r.data)
+		if err != nil {
+			return err
+		}
+		r.t = d
+	}
+	// Step 3: execute per module; the array program is posted.
+	for _, r := range wave {
+		d, err := ch.modules[r.mod].WindowWrite(ch.issue(r.t), ba, pram.RegExec, []byte{1})
+		if err != nil {
+			return err
+		}
+		r.done = d
+		ch.stats.Writes++
+		ch.stats.BytesWritten += int64(len(r.data))
+	}
+	return nil
+}
+
+// maybePreErase applies the selective-erasing decision for a full-row
+// overwrite of a declared write-intent row (Section V-A). Two cases:
+//
+//   - contract-dead: the row was last programmed before the intent was
+//     declared (stale data from an earlier job), so the subsystem
+//     zero-programmed it in the background any time after the kernel
+//     load - the first overwrite of every output row is SET-only;
+//   - repeat overwrite within the run: only erased when the idle gap
+//     since the previous program sufficed and nothing sensed the row in
+//     between.
+func (ch *channel) maybePreErase(at sim.Time, mod int, rowAddr uint64) {
+	if !ch.cfg.Scheduler.SelectiveErasing() || ch.intent == nil {
+		return
+	}
+	declared, ok := ch.intent(mod, rowAddr)
+	if !ok {
+		return
+	}
+	m := ch.modules[mod]
+	gap := ch.cfg.Params.CellOverwriteExtra
+	last := m.LastProgramEnd(rowAddr)
+	var err error
+	switch {
+	case last <= declared && at-declared >= gap:
+		err = m.PreEraseBackground(declared, rowAddr, true)
+	case last > declared && at-last >= gap:
+		err = m.PreEraseBackground(last, rowAddr, false)
+	default:
+		return
+	}
+	if err == nil {
+		ch.stats.PreErasedRows++
+	}
+}
+
+// preEraseRow zero-programs one row so a later overwrite needs only SET
+// pulses. Used by the selective-erasing policies for declared
+// write-intent regions.
+func (ch *channel) preEraseRow(at sim.Time, mod int, rowAddr uint64) (done sim.Time, err error) {
+	m := ch.modules[mod]
+	at = sim.Max(ch.gate(at, mod), m.ProgBufFreeAt())
+	zero := make([]byte, ch.cfg.Geometry.RowBytes)
+	done, err = m.ProgramRow(at, ch.windowBA(), rowAddr, zero)
+	if err != nil {
+		return 0, err
+	}
+	ch.stats.PreErasedRows++
+	if !ch.cfg.Scheduler.Interleaving() {
+		ch.complete(done, mod)
+	}
+	return done, nil
+}
+
+// drain returns when every module on the channel has finished its posted
+// array work.
+func (ch *channel) drain() sim.Time {
+	var t sim.Time
+	for _, m := range ch.modules {
+		t = sim.Max(t, m.BusyUntil())
+	}
+	t = sim.Max(t, ch.cmdBus.FreeAt())
+	t = sim.Max(t, ch.dataBus.FreeAt())
+	return sim.Max(t, ch.lastDone)
+}

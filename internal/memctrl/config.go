@@ -1,0 +1,144 @@
+// Package memctrl implements the hardware-automated FPGA PRAM controller
+// of DRAM-less (Section V): the translator that drives overlay-window
+// write flows, the command generator that emits three-phase addressing
+// sequences with RAB/RDB-aware phase skipping, the initializer that boots
+// the modules, and the two PRAM-aware scheduling optimizations the paper
+// proposes - multi-resource-aware interleaving and selective erasing.
+//
+// A Subsystem exposes the two LPDDR2-NVM channels (16 packages each) as a
+// flat byte-addressable space, exactly what the server PE's MCU sees.
+package memctrl
+
+import (
+	"fmt"
+
+	"dramless/internal/lpddr"
+	"dramless/internal/pram"
+)
+
+// Scheduler selects the request scheduling policy of the controller,
+// matching the four configurations of Figure 13.
+type Scheduler int
+
+const (
+	// Noop is the bare-metal baseline: requests are processed strictly in
+	// order and a read's addressing phases never overlap another read's
+	// data burst.
+	Noop Scheduler = iota
+	// Interleave is multi-resource-aware interleaving (Figure 12): while
+	// one partition senses a row (tRCD), the data burst of another
+	// already-sensed row proceeds on the bus, hiding array access behind
+	// transfer time.
+	Interleave
+	// SelErase is selective erasing (Section V-A): rows declared as
+	// write-intent are pre-programmed with all-zero words, so the later
+	// real writes need only SET pulses.
+	SelErase
+	// Final combines Interleave and SelErase; the paper applies this to
+	// DRAM-less by default.
+	Final
+)
+
+// String implements fmt.Stringer.
+func (s Scheduler) String() string {
+	switch s {
+	case Noop:
+		return "Bare-metal"
+	case Interleave:
+		return "Interleaving"
+	case SelErase:
+		return "Selective-erasing"
+	case Final:
+		return "Final"
+	default:
+		return fmt.Sprintf("Scheduler(%d)", int(s))
+	}
+}
+
+// Interleaving reports whether the policy overlaps array access with data
+// transfer.
+func (s Scheduler) Interleaving() bool { return s == Interleave || s == Final }
+
+// SelectiveErasing reports whether the policy pre-erases write-intent rows.
+func (s Scheduler) SelectiveErasing() bool { return s == SelErase || s == Final }
+
+// Config describes one PRAM subsystem build.
+type Config struct {
+	// Params is the LPDDR2-NVM interface timing (Table II).
+	Params lpddr.Params
+	// Geometry is the per-module address layout.
+	Geometry pram.Geometry
+	// Scheduler is the request scheduling policy.
+	Scheduler Scheduler
+	// PhaseSkipping enables skipping pre-active/activate phases when the
+	// target's upper row address or row data is already buffered. On by
+	// default; an ablation knob for the benchmarks.
+	PhaseSkipping bool
+	// Prefetch enables sequential next-row RDB prefetch ("tries to
+	// prefetch data by using all RDBs across different banks"). Only
+	// effective with an interleaving scheduler, which has the idle array
+	// time to spend.
+	Prefetch bool
+	// ChannelRequestBytes is the server's request granularity per channel
+	// (512 B, i.e. 32 B per package).
+	ChannelRequestBytes int
+	// Wear configures optional start-gap wear leveling (Section VII).
+	Wear WearConfig
+	// WritePausing enables the device-level pause/resume of in-flight
+	// programs on a read (the Related Work alternative [66] the paper
+	// argues against); off on the paper's device.
+	WritePausing bool
+}
+
+// DefaultConfig returns the paper's DRAM-less controller configuration
+// with the given scheduler.
+func DefaultConfig(s Scheduler) Config {
+	return Config{
+		Params:              lpddr.Default(),
+		Geometry:            pram.DefaultGeometry(),
+		Scheduler:           s,
+		PhaseSkipping:       true,
+		Prefetch:            true,
+		ChannelRequestBytes: 512,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if err := c.Params.Validate(); err != nil {
+		return err
+	}
+	if err := c.Geometry.Validate(); err != nil {
+		return err
+	}
+	if c.Scheduler < Noop || c.Scheduler > Final {
+		return fmt.Errorf("memctrl: unknown scheduler %d", c.Scheduler)
+	}
+	perBank := c.Geometry.RowBytes
+	if c.ChannelRequestBytes <= 0 || c.ChannelRequestBytes%perBank != 0 {
+		return fmt.Errorf("memctrl: channel request size %d must be a positive multiple of the %d-byte row",
+			c.ChannelRequestBytes, perBank)
+	}
+	if err := c.Wear.Validate(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Stats aggregates controller-level activity. Module-level device stats
+// are available per module via ModuleStats.
+type Stats struct {
+	Reads  int64 // row-granule read operations issued
+	Writes int64 // row-granule program flows issued
+
+	// Phase skipping effectiveness (Section III-B).
+	PreactiveSkips int64 // RAB already held the upper row address
+	ActivateSkips  int64 // RDB already held the row (both phases skipped)
+	FullAccesses   int64 // all three phases required
+
+	Prefetches int64 // speculative activates issued
+
+	PreErasedRows int64 // rows zero-programmed by selective erasing
+	BytesRead     int64
+	BytesWritten  int64
+}

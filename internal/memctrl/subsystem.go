@@ -1,0 +1,443 @@
+package memctrl
+
+import (
+	"fmt"
+
+	"dramless/internal/lpddr"
+	"dramless/internal/pram"
+	"dramless/internal/sim"
+)
+
+// Subsystem is the complete hardware-automated PRAM subsystem: two
+// LPDDR2-NVM channels of sixteen 400 MHz PRAM packages behind the FPGA
+// controller. It presents a flat byte-addressable space to the server
+// PE's MCU; 32-byte rows stripe across the 16 packages of a channel and
+// then across channels, so a 1 KiB request touches every module once
+// (the paper's "512 bytes per channel, 32 bytes per bank").
+type Subsystem struct {
+	cfg      Config
+	channels []*channel
+
+	rowBytes uint64
+	pkgs     uint64
+	chans    uint64
+	size     uint64
+	bootedAt sim.Time
+	booted   bool
+
+	// intents are the declared write-intent address ranges (selective
+	// erasing targets): [addr, addr+n), in logical addresses.
+	intents []intentRange
+
+	// wear is the optional start-gap leveler (nil when disabled).
+	wear *wearState
+}
+
+type intentRange struct {
+	lo, hi     uint64
+	declaredAt sim.Time
+}
+
+// intentAt reports whether global address a lies in a declared region and
+// when the declaration happened.
+func (s *Subsystem) intentAt(a uint64) (sim.Time, bool) {
+	for _, r := range s.intents {
+		if a >= r.lo && a < r.hi {
+			return r.declaredAt, true
+		}
+	}
+	return 0, false
+}
+
+// New builds a subsystem from cfg.
+func New(cfg Config) (*Subsystem, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Subsystem{
+		cfg:      cfg,
+		rowBytes: uint64(cfg.Geometry.RowBytes),
+		pkgs:     uint64(cfg.Params.Packages),
+		chans:    uint64(cfg.Params.Channels),
+	}
+	for c := 0; c < cfg.Params.Channels; c++ {
+		ch, err := newChannel(c, cfg)
+		if err != nil {
+			return nil, err
+		}
+		cIdx := c
+		ch.intent = func(mod int, rowAddr uint64) (sim.Time, bool) {
+			// Invert the striping (module-local row -> physical global
+			// row), then undo wear-leveling to reach the logical address
+			// the intent ranges are declared in.
+			chunk := rowAddr*s.pkgs*s.chans + uint64(cIdx)*s.pkgs + uint64(mod)
+			if s.wear != nil {
+				logical, ok := s.wear.unmapRow(chunk)
+				if !ok {
+					return 0, false // the spare row is never an intent target
+				}
+				chunk = logical
+			}
+			return s.intentAt(chunk * s.rowBytes)
+		}
+		s.channels = append(s.channels, ch)
+	}
+	// The top window region of each module is reserved for the overlay
+	// window; expose only the array space below it.
+	usableRows := cfg.Geometry.RowsPerModule - pram.WindowSize/uint64(cfg.Geometry.RowBytes)
+	s.size = usableRows * s.rowBytes * s.pkgs * s.chans
+	s.initWear()
+	return s, nil
+}
+
+// MustNew is New for known-good configurations.
+func MustNew(cfg Config) *Subsystem {
+	s, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Config returns the build configuration.
+func (s *Subsystem) Config() Config { return s.cfg }
+
+// Size returns the usable capacity in bytes.
+func (s *Subsystem) Size() uint64 { return s.size }
+
+// location maps a global byte address to its channel, package, module row
+// and column.
+type location struct {
+	ch, pkg int
+	row     uint64
+	col     int
+}
+
+func (s *Subsystem) locate(addr uint64) location {
+	chunk := addr / s.rowBytes
+	return location{
+		ch:  int(chunk / s.pkgs % s.chans),
+		pkg: int(chunk % s.pkgs),
+		row: chunk / (s.pkgs * s.chans),
+		col: int(addr % s.rowBytes),
+	}
+}
+
+// checkRange validates [addr, addr+n).
+func (s *Subsystem) checkRange(addr uint64, n int) error {
+	if n <= 0 {
+		return fmt.Errorf("memctrl: non-positive access size %d", n)
+	}
+	if addr+uint64(n) > s.size {
+		return fmt.Errorf("memctrl: access [%#x,%#x) outside %#x-byte subsystem", addr, addr+uint64(n), s.size)
+	}
+	return nil
+}
+
+// Boot runs the initializer on every module: auto-initialization, ZQ
+// calibration, burst length and overlay window base address. It returns
+// when every device reports ready. Boot must complete before traffic.
+func (s *Subsystem) Boot(at sim.Time) (done sim.Time, err error) {
+	done = at
+	winRow := uint32((s.cfg.Geometry.Size() - pram.WindowSize) / s.rowBytes)
+	for _, ch := range s.channels {
+		for _, m := range ch.modules {
+			t, err := m.ModeRegisterWrite(at, pram.MRAutoInit, 1)
+			if err != nil {
+				return 0, err
+			}
+			if t, err = m.ModeRegisterWrite(t, pram.MRZQCalibrate, 1); err != nil {
+				return 0, err
+			}
+			if t, err = m.ModeRegisterWrite(t, pram.MRBurstLen, uint8(s.cfg.Params.BurstLen)); err != nil {
+				return 0, err
+			}
+			for i := 0; i < 4; i++ {
+				if t, err = m.ModeRegisterWrite(t, uint32(pram.MROWBA0+i), uint8(winRow>>(8*i))); err != nil {
+					return 0, err
+				}
+			}
+			// Poll the ready flag once the longest boot step elapses.
+			for probe := t; ; probe += 10 * sim.Microsecond {
+				st, pt, err := m.ModeRegisterRead(probe, pram.MRStatus)
+				if err != nil {
+					return 0, err
+				}
+				if st == pram.StatusReady {
+					t = pt
+					break
+				}
+			}
+			done = sim.Max(done, t)
+		}
+	}
+	s.booted, s.bootedAt = true, done
+	return done, nil
+}
+
+// Read fetches n bytes at addr, starting no earlier than at, and returns
+// the data and the completion time of the last burst. The request is
+// split into row-granule operations that the per-channel scheduler
+// processes according to its policy.
+func (s *Subsystem) Read(at sim.Time, addr uint64, n int) (data []byte, done sim.Time, err error) {
+	if err := s.checkRange(addr, n); err != nil {
+		return nil, 0, err
+	}
+	data = make([]byte, n)
+	done = at
+
+	// Build per-channel batches so each channel's scheduler can interleave
+	// the row operations of this request.
+	type slot struct {
+		off  int
+		take int
+	}
+	batches := make([][]rowReq, len(s.channels))
+	slots := make([][]slot, len(s.channels))
+	for off := 0; off < n; {
+		loc := s.locate(s.translate(addr + uint64(off)))
+		take := int(s.rowBytes) - loc.col
+		if take > n-off {
+			take = n - off
+		}
+		batches[loc.ch] = append(batches[loc.ch], rowReq{mod: loc.pkg, row: loc.row, col: loc.col, n: take})
+		slots[loc.ch] = append(slots[loc.ch], slot{off: off, take: take})
+		off += take
+	}
+	for c, batch := range batches {
+		if len(batch) == 0 {
+			continue
+		}
+		if err := s.channels[c].readBatch(at, batch); err != nil {
+			return nil, 0, err
+		}
+		for i, r := range batch {
+			copy(data[slots[c][i].off:], r.data)
+			done = sim.Max(done, r.done)
+		}
+	}
+	return data, done, nil
+}
+
+// ReadScatter fetches n bytes at each of several addresses as one
+// scheduled batch - the gather shape Figure 12 illustrates: the
+// controller sees all requests at once and can interleave their
+// addressing phases with each other's data bursts.
+func (s *Subsystem) ReadScatter(at sim.Time, addrs []uint64, n int) (data [][]byte, done sim.Time, err error) {
+	batches := make([][]rowReq, len(s.channels))
+	idx := make([][]int, len(s.channels))
+	data = make([][]byte, len(addrs))
+	done = at
+	for i, a := range addrs {
+		if err := s.checkRange(a, n); err != nil {
+			return nil, 0, err
+		}
+		loc := s.locate(s.translate(a))
+		if loc.col+n > int(s.rowBytes) {
+			return nil, 0, fmt.Errorf("memctrl: scatter element [%#x,+%d) crosses a row boundary", a, n)
+		}
+		batches[loc.ch] = append(batches[loc.ch], rowReq{mod: loc.pkg, row: loc.row, col: loc.col, n: n})
+		idx[loc.ch] = append(idx[loc.ch], i)
+	}
+	for c, batch := range batches {
+		if len(batch) == 0 {
+			continue
+		}
+		if err := s.channels[c].readBatch(at, batch); err != nil {
+			return nil, 0, err
+		}
+		for j, r := range batch {
+			data[idx[c][j]] = r.data
+			done = sim.Max(done, r.done)
+		}
+	}
+	return data, done, nil
+}
+
+// Write stores data at addr, starting no earlier than at, and returns
+// when the controller has accepted every row program (the array programs
+// themselves are posted behind the per-module program buffers).
+func (s *Subsystem) Write(at sim.Time, addr uint64, data []byte) (done sim.Time, err error) {
+	if err := s.checkRange(addr, len(data)); err != nil {
+		return 0, err
+	}
+	done = at
+	// Full rows batch per channel so their program flows interleave
+	// across modules; partial rows at the edges go through the
+	// read-modify-write path individually. Wear accounting is deferred
+	// until every chunk has executed: a gap move in the middle would
+	// invalidate the translations pending chunks were built with.
+	batches := make([][]writeReq, len(s.channels))
+	type programmed struct {
+		at    sim.Time
+		paddr uint64
+	}
+	var progs []programmed
+	for off := 0; off < len(data); {
+		paddr := s.translate(addr + uint64(off))
+		loc := s.locate(paddr)
+		take := int(s.rowBytes) - loc.col
+		if take > len(data)-off {
+			take = len(data) - off
+		}
+		if loc.col == 0 && take == int(s.rowBytes) {
+			batches[loc.ch] = append(batches[loc.ch],
+				writeReq{mod: loc.pkg, row: loc.row, data: data[off : off+take], paddr: paddr})
+		} else {
+			d, err := s.channels[loc.ch].writeRow(at, loc.pkg, loc.row, loc.col, data[off:off+take])
+			if err != nil {
+				return 0, err
+			}
+			progs = append(progs, programmed{at: d, paddr: paddr})
+			done = sim.Max(done, d)
+		}
+		off += take
+	}
+	for c, batch := range batches {
+		if len(batch) == 0 {
+			continue
+		}
+		if err := s.channels[c].writeBatch(at, batch); err != nil {
+			return 0, err
+		}
+		for _, r := range batch {
+			progs = append(progs, programmed{at: r.done, paddr: r.paddr})
+			done = sim.Max(done, r.done)
+		}
+	}
+	for _, pr := range progs {
+		if _, err := s.noteProgram(pr.at, pr.paddr); err != nil {
+			return 0, err
+		}
+	}
+	return done, nil
+}
+
+// PreErase declares [addr, addr+n) as write-intent: its current contents
+// are dead and will be overwritten by the running kernel (Section V-A).
+// The declaration itself is a register write (cheap); the selective-
+// erasing schedulers then zero-program each declared row in background
+// idle time before its overwrite arrives, so those programs need only
+// SET pulses. A no-op unless the scheduler enables selective erasing,
+// letting callers declare intent unconditionally.
+func (s *Subsystem) PreErase(at sim.Time, addr uint64, n int) (done sim.Time, err error) {
+	if !s.cfg.Scheduler.SelectiveErasing() {
+		return at, nil
+	}
+	if err := s.checkRange(addr, n); err != nil {
+		return 0, err
+	}
+	s.intents = append(s.intents, intentRange{lo: addr, hi: addr + uint64(n), declaredAt: at})
+	return at + sim.Microsecond, nil // one control-register update
+}
+
+// Populate stores data at addr with no protocol or timing cost, marking
+// the touched words programmed. It is the offline-initialization path
+// experiments use to place inputs in persistent storage before the
+// measured run; it must never appear on a measured path.
+func (s *Subsystem) Populate(addr uint64, data []byte) error {
+	if err := s.checkRange(addr, len(data)); err != nil {
+		return err
+	}
+	for off := 0; off < len(data); {
+		loc := s.locate(s.translate(addr + uint64(off)))
+		take := int(s.rowBytes) - loc.col
+		if take > len(data)-off {
+			take = len(data) - off
+		}
+		m := s.channels[loc.ch].modules[loc.pkg]
+		if loc.col == 0 {
+			if err := m.LoadRow(loc.row, data[off:off+take]); err != nil {
+				return err
+			}
+		} else {
+			row := m.PeekRow(loc.row)
+			copy(row[loc.col:], data[off:off+take])
+			if err := m.LoadRow(loc.row, row); err != nil {
+				return err
+			}
+		}
+		off += take
+	}
+	return nil
+}
+
+// Drain returns when every channel and module has finished all posted
+// work; experiment harnesses use it as the end-of-run barrier.
+func (s *Subsystem) Drain() sim.Time {
+	var t sim.Time
+	for _, ch := range s.channels {
+		t = sim.Max(t, ch.drain())
+	}
+	return t
+}
+
+// Stats sums controller-level counters over the channels.
+func (s *Subsystem) Stats() Stats {
+	var out Stats
+	for _, ch := range s.channels {
+		out.Reads += ch.stats.Reads
+		out.Writes += ch.stats.Writes
+		out.PreactiveSkips += ch.stats.PreactiveSkips
+		out.ActivateSkips += ch.stats.ActivateSkips
+		out.FullAccesses += ch.stats.FullAccesses
+		out.Prefetches += ch.stats.Prefetches
+		out.PreErasedRows += ch.stats.PreErasedRows
+		out.BytesRead += ch.stats.BytesRead
+		out.BytesWritten += ch.stats.BytesWritten
+	}
+	return out
+}
+
+// ModuleStats sums device-level counters over all modules.
+func (s *Subsystem) ModuleStats() pram.Stats {
+	var out pram.Stats
+	for _, ch := range s.channels {
+		for _, m := range ch.modules {
+			ms := m.Stats()
+			out.Preactives += ms.Preactives
+			out.Activates += ms.Activates
+			out.WindowAct += ms.WindowAct
+			out.ReadBursts += ms.ReadBursts
+			out.WriteBursts += ms.WriteBursts
+			out.Programs += ms.Programs
+			for i := range out.ProgramsBy {
+				out.ProgramsBy[i] += ms.ProgramsBy[i]
+			}
+			out.Erases += ms.Erases
+			out.BytesRead += ms.BytesRead
+			out.BytesWritten += ms.BytesWritten
+			out.ProgramTime += ms.ProgramTime
+		}
+	}
+	return out
+}
+
+// BusBusyTime sums DQ-bus occupancy over channels, for utilization
+// reporting and the Figure 12 overlap measurement.
+func (s *Subsystem) BusBusyTime() sim.Duration {
+	var t sim.Duration
+	for _, ch := range s.channels {
+		t += ch.dataBus.BusyTime()
+	}
+	return t
+}
+
+// Module returns the device at (channel, pkg) for white-box tests.
+func (s *Subsystem) Module(ch, pkg int) *pram.Module { return s.channels[ch].modules[pkg] }
+
+// EnableTrace records the LPDDR2-NVM command stream of every module for
+// protocol inspection (see Trace).
+func (s *Subsystem) EnableTrace(on bool) {
+	for _, ch := range s.channels {
+		for _, m := range ch.modules {
+			m.EnableTrace(on)
+		}
+	}
+}
+
+// Trace returns the recorded command stream of the module at (channel,
+// pkg); empty unless EnableTrace preceded the traffic.
+func (s *Subsystem) Trace(ch, pkg int) []lpddr.Command {
+	return s.channels[ch].modules[pkg].TraceHistory()
+}

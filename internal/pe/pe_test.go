@@ -1,0 +1,205 @@
+package pe
+
+import (
+	"testing"
+
+	"dramless/internal/mem"
+	"dramless/internal/sim"
+	"dramless/internal/workload"
+)
+
+// opsStream replays a fixed op list.
+type opsStream struct {
+	ops []workload.Op
+	i   int
+}
+
+func (s *opsStream) Next() (workload.Op, bool) {
+	if s.i >= len(s.ops) {
+		return workload.Op{}, false
+	}
+	op := s.ops[s.i]
+	s.i++
+	return op, true
+}
+
+func fastMem() mem.Device {
+	return mem.NewFlat("m", 1<<20, sim.Nanoseconds(100), 10e9)
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	c := Default()
+	c.ClockHz = 0
+	if err := c.Validate(); err == nil {
+		t.Error("zero clock accepted")
+	}
+	c = Default()
+	c.EffectiveIPC = 100
+	if err := c.Validate(); err == nil {
+		t.Error("IPC above issue width accepted")
+	}
+	if _, err := New(0, Default(), nil, &opsStream{}, 0); err == nil {
+		t.Error("nil memory accepted")
+	}
+	if _, err := New(0, Default(), fastMem(), nil, 0); err == nil {
+		t.Error("nil stream accepted")
+	}
+}
+
+func TestComputeTiming(t *testing.T) {
+	// 400 instructions at 4 IPC and 1 GHz = 100 cycles = 100 ns.
+	p, err := New(0, Default(), fastMem(), &opsStream{ops: []workload.Op{{Compute: 400}}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Now(); got != sim.Nanoseconds(100) {
+		t.Fatalf("compute time = %v, want 100ns", got)
+	}
+	if p.Instructions() != 400 {
+		t.Fatalf("instrs = %d", p.Instructions())
+	}
+	if p.StallTime() != 0 {
+		t.Fatalf("pure compute recorded stall %v", p.StallTime())
+	}
+}
+
+func TestMemoryStallAccounting(t *testing.T) {
+	stream := &opsStream{ops: []workload.Op{
+		{Compute: 40, Addr: 0, Size: 32},
+		{Compute: 40, Addr: 4096, Size: 32, Write: true},
+	}}
+	p, err := New(1, Default(), fastMem(), stream, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Each op: 10 ns compute + >= 100 ns memory.
+	if p.ComputeTime() != sim.Nanoseconds(20) {
+		t.Fatalf("compute = %v, want 20ns", p.ComputeTime())
+	}
+	if p.StallTime() < sim.Nanoseconds(200) {
+		t.Fatalf("stall = %v, want >= 200ns", p.StallTime())
+	}
+	// 80 compute + 2 load/store instructions.
+	if p.Instructions() != 82 {
+		t.Fatalf("instrs = %d, want 82", p.Instructions())
+	}
+}
+
+func TestStartTimeRespected(t *testing.T) {
+	p, _ := New(0, Default(), fastMem(), &opsStream{ops: []workload.Op{{Compute: 4}}}, sim.Microseconds(5))
+	p.Run()
+	if p.Now() <= sim.Microseconds(5) {
+		t.Fatal("PE ran before its boot time")
+	}
+}
+
+func TestIPCSeriesMassMatchesInstructions(t *testing.T) {
+	stream := &opsStream{}
+	for i := 0; i < 50; i++ {
+		stream.ops = append(stream.ops, workload.Op{Compute: 100, Addr: uint64(i * 64), Size: 32})
+	}
+	p, _ := New(0, Default(), fastMem(), stream, 0)
+	p.SampleIPC(sim.Microsecond)
+	if err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+	got := p.IPCSeries().Total()
+	want := float64(p.Instructions())
+	if got < want*0.99 || got > want*1.01 {
+		t.Fatalf("series mass %v vs instructions %v", got, want)
+	}
+}
+
+func TestSpanObserver(t *testing.T) {
+	stream := &opsStream{ops: []workload.Op{
+		{Compute: 400},
+		{Addr: 0, Size: 32},
+	}}
+	p, _ := New(0, Default(), fastMem(), stream, 0)
+	var active, stalled int
+	var covered sim.Duration
+	p.OnSpan(func(s Span) {
+		if s.T1 <= s.T0 {
+			t.Fatalf("empty span %+v", s)
+		}
+		covered += s.T1 - s.T0
+		if s.Active {
+			active++
+		} else {
+			stalled++
+		}
+	})
+	if err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if active != 1 || stalled != 1 {
+		t.Fatalf("spans = %d active, %d stalled", active, stalled)
+	}
+	if covered != p.ComputeTime()+p.StallTime() {
+		t.Fatalf("span coverage %v vs accounted %v", covered, p.ComputeTime()+p.StallTime())
+	}
+}
+
+func TestStepAfterDone(t *testing.T) {
+	p, _ := New(0, Default(), fastMem(), &opsStream{}, 0)
+	ok, err := p.Step()
+	if err != nil || ok {
+		t.Fatal("empty stream should finish immediately")
+	}
+	if !p.Done() {
+		t.Fatal("not done")
+	}
+	ok, _ = p.Step()
+	if ok {
+		t.Fatal("step after done made progress")
+	}
+}
+
+func TestMemoryErrorPropagates(t *testing.T) {
+	small := mem.NewFlat("tiny", 64, sim.Nanoseconds(1), 1e9)
+	p, _ := New(3, Default(), small, &opsStream{ops: []workload.Op{{Addr: 1000, Size: 32}}}, 0)
+	if err := p.Run(); err == nil {
+		t.Fatal("out-of-range access did not error")
+	}
+}
+
+func TestKernelStreamRunsOnPE(t *testing.T) {
+	k := workload.MustByName("trisolv")
+	params := workload.Params{Scale: 16 << 10, Agents: 2}
+	stream := workload.MustStream(k, params, 0)
+	p, _ := New(0, Default(), fastMem(), stream, 0)
+	if err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Instructions() == 0 || p.Now() == 0 {
+		t.Fatal("kernel stream made no progress")
+	}
+}
+
+func TestDSPIntrinsicsDoubleComputeRate(t *testing.T) {
+	run := func(dsp bool) sim.Time {
+		cfg := Default()
+		cfg.DSPIntrinsics = dsp
+		p, err := New(0, cfg, fastMem(), &opsStream{ops: []workload.Op{{Compute: 4000}}}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return p.Now()
+	}
+	with, without := run(true), run(false)
+	if without != 2*with {
+		t.Fatalf("without intrinsics %v, want 2x the optimized %v", without, with)
+	}
+}

@@ -1,0 +1,129 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a callback scheduled to run at a fixed simulated time.
+type Event struct {
+	At Time
+	Fn func(now Time)
+
+	seq int64 // tie-breaker: events at the same time run in schedule order
+	idx int   // heap index
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx, h[j].idx = i, j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a deterministic discrete-event simulation kernel. Components
+// schedule callbacks; Run dispatches them in (time, schedule-order).
+// Engine is not safe for concurrent use: the whole simulation runs on one
+// goroutine, which is what makes it deterministic.
+type Engine struct {
+	now    Time
+	queue  eventHeap
+	nextID int64
+	ran    int64
+}
+
+// NewEngine returns an engine with the simulated clock at zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Processed returns how many events have been dispatched so far.
+func (e *Engine) Processed() int64 { return e.ran }
+
+// Pending returns how many events are waiting in the queue.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule runs fn at the absolute time at. Scheduling in the past is a
+// programming error in a causal simulation, so it panics.
+func (e *Engine) Schedule(at Time, fn func(now Time)) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
+	}
+	ev := &Event{At: at, Fn: fn, seq: e.nextID}
+	e.nextID++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After runs fn after delay d.
+func (e *Engine) After(d Duration, fn func(now Time)) *Event {
+	return e.Schedule(e.now+d, fn)
+}
+
+// Cancel removes a pending event. Cancelling an already-run or
+// already-cancelled event is a no-op and reports false.
+func (e *Engine) Cancel(ev *Event) bool {
+	if ev == nil || ev.idx < 0 || ev.idx >= len(e.queue) || e.queue[ev.idx] != ev {
+		return false
+	}
+	heap.Remove(&e.queue, ev.idx)
+	ev.idx = -1
+	return true
+}
+
+// Step dispatches the next event. It reports false when the queue is empty.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*Event)
+	ev.idx = -1
+	e.now = ev.At
+	e.ran++
+	ev.Fn(e.now)
+	return true
+}
+
+// Run dispatches events until the queue drains and returns the final time.
+func (e *Engine) Run() Time {
+	for e.Step() {
+	}
+	return e.now
+}
+
+// RunUntil dispatches events with At <= deadline, then sets the clock to
+// deadline if the simulation had not already passed it.
+func (e *Engine) RunUntil(deadline Time) Time {
+	for len(e.queue) > 0 && e.queue[0].At <= deadline {
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return e.now
+}
+
+// Advance moves the clock forward by d without running events scheduled in
+// that window; it is intended for test setup, not for model code.
+func (e *Engine) Advance(d Duration) { e.now += d }

@@ -1,0 +1,182 @@
+package ssd
+
+import (
+	"fmt"
+
+	"dramless/internal/flash"
+	"dramless/internal/sim"
+)
+
+// ftl is a page-mapped flash translation layer with greedy garbage
+// collection. Logical pages map to physical pages; writes always go to a
+// fresh physical page and invalidate the old mapping; when free pages run
+// low, the block with the fewest valid pages is compacted and erased.
+type ftl struct {
+	arr *flash.Array
+
+	l2p       map[uint64]uint64 // logical -> physical page
+	p2l       map[uint64]uint64 // physical -> logical (for GC relocation)
+	freeHead  uint64            // next never-used physical page
+	freeQueue []uint64          // recycled physical pages
+	validIn   map[uint64]int    // block -> live page count
+	writtenIn map[uint64]int    // block -> pages programmed since last erase
+	written   map[uint64]bool   // physical pages holding stale or live data
+
+	logicalPages uint64
+	gcRuns       int64
+	gcMoves      int64
+}
+
+func newFTL(arr *flash.Array, logicalPages uint64) (*ftl, error) {
+	if logicalPages >= arr.Pages() {
+		return nil, fmt.Errorf("ssd: %d logical pages need over-provisioning beyond %d physical",
+			logicalPages, arr.Pages())
+	}
+	return &ftl{
+		arr:          arr,
+		l2p:          map[uint64]uint64{},
+		p2l:          map[uint64]uint64{},
+		validIn:      map[uint64]int{},
+		writtenIn:    map[uint64]int{},
+		written:      map[uint64]bool{},
+		logicalPages: logicalPages,
+	}, nil
+}
+
+func (f *ftl) blockOf(ppage uint64) uint64 {
+	return ppage / uint64(f.arr.Profile().PagesPerBlock)
+}
+
+// freePages reports how many physical pages are still allocatable.
+func (f *ftl) freePages() uint64 {
+	return f.arr.Pages() - f.freeHead + uint64(len(f.freeQueue))
+}
+
+// allocate returns a fresh physical page, running GC when needed.
+func (f *ftl) allocate(at sim.Time) (uint64, sim.Time, error) {
+	if f.freePages() <= uint64(f.arr.Profile().PagesPerBlock) {
+		done, err := f.collect(at)
+		if err != nil {
+			return 0, 0, err
+		}
+		at = done
+	}
+	if len(f.freeQueue) > 0 {
+		p := f.freeQueue[0]
+		f.freeQueue = f.freeQueue[1:]
+		return p, at, nil
+	}
+	if f.freeHead >= f.arr.Pages() {
+		return 0, 0, fmt.Errorf("ssd: flash array exhausted (%d pages)", f.arr.Pages())
+	}
+	p := f.freeHead
+	f.freeHead++
+	return p, at, nil
+}
+
+// collect compacts the block with the fewest valid pages.
+func (f *ftl) collect(at sim.Time) (sim.Time, error) {
+	ppb := uint64(f.arr.Profile().PagesPerBlock)
+	bestBlock, bestValid := uint64(0), int(ppb)+1
+	limit := f.freeHead / ppb
+	for b := uint64(0); b < limit; b++ {
+		// Only fully-written blocks are GC candidates: a block with
+		// unprogrammed or recycled pages still has allocatable space,
+		// and erasing it would hand the same page out twice.
+		if f.writtenIn[b] != int(ppb) {
+			continue
+		}
+		if v := f.validIn[b]; v < bestValid {
+			bestBlock, bestValid = b, v
+		}
+	}
+	if bestValid > int(ppb) {
+		return 0, fmt.Errorf("ssd: no garbage-collectable block")
+	}
+	f.gcRuns++
+	done := at
+	// Relocate live pages.
+	for p := bestBlock * ppb; p < (bestBlock+1)*ppb; p++ {
+		lpn, live := f.p2l[p]
+		if !live {
+			continue
+		}
+		data, rDone, err := f.arr.ReadPage(done, p)
+		if err != nil {
+			return 0, err
+		}
+		// Relocation target must not trigger recursive GC: use freeQueue
+		// or freeHead directly.
+		var np uint64
+		if len(f.freeQueue) > 0 {
+			np = f.freeQueue[0]
+			f.freeQueue = f.freeQueue[1:]
+		} else if f.freeHead < f.arr.Pages() {
+			np = f.freeHead
+			f.freeHead++
+		} else {
+			return 0, fmt.Errorf("ssd: GC has nowhere to relocate")
+		}
+		wDone, err := f.arr.ProgramPage(rDone, np, data)
+		if err != nil {
+			return 0, err
+		}
+		f.retarget(lpn, p, np)
+		f.gcMoves++
+		done = wDone
+	}
+	eDone, err := f.arr.EraseBlock(done, bestBlock*ppb)
+	if err != nil {
+		return 0, err
+	}
+	for p := bestBlock * ppb; p < (bestBlock+1)*ppb; p++ {
+		delete(f.p2l, p)
+		delete(f.written, p)
+		f.freeQueue = append(f.freeQueue, p)
+	}
+	f.validIn[bestBlock] = 0
+	f.writtenIn[bestBlock] = 0
+	return eDone, nil
+}
+
+func (f *ftl) retarget(lpn, oldP, newP uint64) {
+	f.l2p[lpn] = newP
+	delete(f.p2l, oldP)
+	f.p2l[newP] = lpn
+	f.validIn[f.blockOf(oldP)]--
+	f.validIn[f.blockOf(newP)]++
+	f.writtenIn[f.blockOf(newP)]++
+	f.written[newP] = true
+}
+
+// read returns the physical page holding lpn, or ok=false when the page
+// was never written.
+func (f *ftl) read(lpn uint64) (ppage uint64, ok bool) {
+	p, ok := f.l2p[lpn]
+	return p, ok
+}
+
+// write programs data as the new version of lpn.
+func (f *ftl) write(at sim.Time, lpn uint64, data []byte) (sim.Time, error) {
+	if lpn >= f.logicalPages {
+		return 0, fmt.Errorf("ssd: logical page %d outside %d", lpn, f.logicalPages)
+	}
+	np, ready, err := f.allocate(at)
+	if err != nil {
+		return 0, err
+	}
+	done, err := f.arr.ProgramPage(ready, np, data)
+	if err != nil {
+		return 0, err
+	}
+	if old, ok := f.l2p[lpn]; ok {
+		delete(f.p2l, old)
+		f.validIn[f.blockOf(old)]--
+	}
+	f.l2p[lpn] = np
+	f.p2l[np] = lpn
+	f.validIn[f.blockOf(np)]++
+	f.writtenIn[f.blockOf(np)]++
+	f.written[np] = true
+	return done, nil
+}

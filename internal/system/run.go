@@ -1,0 +1,525 @@
+package system
+
+import (
+	"fmt"
+
+	"dramless/internal/accel"
+	"dramless/internal/energy"
+	"dramless/internal/flash"
+	"dramless/internal/hostsw"
+	"dramless/internal/kernel"
+	"dramless/internal/mem"
+	"dramless/internal/memctrl"
+	"dramless/internal/pcie"
+	"dramless/internal/sim"
+	"dramless/internal/ssd"
+	"dramless/internal/stats"
+	"dramless/internal/workload"
+)
+
+// Time-breakdown components (the Figure 16 stack).
+const (
+	TimeLoad    = "load"     // staging input into the accelerator
+	TimeCompute = "compute"  // PE execution (arithmetic)
+	TimeStall   = "mem-wait" // PE cycles waiting on memory/storage
+	TimeStore   = "store"    // persisting outputs
+)
+
+// Result is one system x workload run.
+type Result struct {
+	Kind     Kind
+	Workload string
+
+	// Phase walls.
+	Load   sim.Duration
+	Kernel sim.Duration
+	Store  sim.Duration
+	Total  sim.Duration
+
+	// Time is the Figure 16 decomposition: load / compute / mem-wait /
+	// store. Compute and mem-wait split the kernel phase by the agents'
+	// aggregate activity.
+	Time *stats.Breakdown
+
+	// Energy is the Figure 17 decomposition.
+	Energy *energy.Account
+
+	// Report is the kernel-phase execution report (IPC series, spans).
+	Report *accel.Report
+
+	// Footprint is the processed data volume.
+	Footprint int64
+}
+
+// BandwidthMBps returns data-processing throughput (footprint over total
+// time), the Figure 13/15 metric.
+func (r *Result) BandwidthMBps() float64 {
+	if r.Total <= 0 {
+		return 0
+	}
+	return float64(r.Footprint) / r.Total.Seconds() / 1e6
+}
+
+// imageBytes is the kernel image size shipped during offload.
+const imageBytes = 64 << 10
+
+// build holds the instantiated components of one system.
+type build struct {
+	cfg Config
+
+	backend mem.Device // what the accelerator computes against
+	acc     *accel.Accelerator
+
+	host    *hostsw.Host
+	accLink *pcie.Link
+	ssdLink *pcie.Link
+	p2p     *pcie.P2P
+
+	extSSD *ssd.SSD // heterogeneous external storage
+	intSSD *ssd.SSD // integrated / page-buffer storage backend
+	sub    *memctrl.Subsystem
+	fwWrap *ssd.FirmwareManaged
+	nor    *flash.NOR
+	dram   *mem.Flat // accelerator-internal DRAM (hetero / ideal)
+}
+
+// newBuild constructs the system of cfg.Kind.
+func newBuild(cfg Config) (*build, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	b := &build{cfg: cfg}
+	var err error
+	if b.host, err = hostsw.New(cfg.Host); err != nil {
+		return nil, err
+	}
+	accLinkCfg := cfg.Link
+	accLinkCfg.Name = "pcie.accel"
+	if b.accLink, err = pcie.NewLink(accLinkCfg); err != nil {
+		return nil, err
+	}
+	ssdLinkCfg := cfg.Link
+	ssdLinkCfg.Name = "pcie.ssd"
+	if b.ssdLink, err = pcie.NewLink(ssdLinkCfg); err != nil {
+		return nil, err
+	}
+	b.p2p = pcie.NewP2P(b.ssdLink, b.accLink)
+
+	mkSub := func(s memctrl.Scheduler) (*memctrl.Subsystem, error) {
+		mcCfg := memctrl.DefaultConfig(s)
+		mcCfg.Geometry.RowsPerModule = cfg.PRAMRowsPerModule
+		mcCfg.Wear = cfg.Wear
+		return memctrl.New(mcCfg)
+	}
+	mkSSD := func(media flash.Profile, integrated bool, fw ssd.FirmwareConfig) (*ssd.SSD, error) {
+		sc := ssd.DefaultConfig(media, cfg.SSDCapacity)
+		sc.Firmware = fw
+		sc.Integrated = integrated
+		// The paper's 1 GB device buffers hold a similar fraction of its
+		// >10x-scaled volumes; scale them with the footprint so buffer
+		// pressure (and therefore media latency) is preserved.
+		sc.BufferBytes = cfg.bufferBytes()
+		return ssd.New(sc)
+	}
+
+	switch cfg.Kind {
+	case Hetero, Heterodirect:
+		if b.extSSD, err = mkSSD(flash.MLC(), false, cfg.Firmware); err != nil {
+			return nil, err
+		}
+		b.dram = mem.NewFlat("accel.dram", 1<<30, sim.Nanoseconds(100), 12.8e9)
+		b.backend = b.dram
+	case HeteroPRAM, HeterodirectPRAM:
+		if b.extSSD, err = mkSSD(flash.PRAMMedia(), false, cfg.Firmware); err != nil {
+			return nil, err
+		}
+		b.dram = mem.NewFlat("accel.dram", 1<<30, sim.Nanoseconds(100), 12.8e9)
+		b.backend = b.dram
+	case NORIntf:
+		b.nor = flash.NewNOR(1 << 30)
+		b.backend = b.nor
+	case IntegratedSLC, IntegratedMLC, IntegratedTLC:
+		media := flash.SLC()
+		if cfg.Kind == IntegratedMLC {
+			media = flash.MLC()
+		} else if cfg.Kind == IntegratedTLC {
+			media = flash.TLC()
+		}
+		if b.intSSD, err = mkSSD(media, true, cfg.Firmware); err != nil {
+			return nil, err
+		}
+		b.backend = b.intSSD
+	case PageBuffer:
+		// The page interface is managed by lightweight embedded logic,
+		// not a full storage firmware.
+		fw := cfg.Firmware
+		fw.RequestCycles = 250
+		if b.intSSD, err = mkSSD(flash.PageBufferPRAM(), true, fw); err != nil {
+			return nil, err
+		}
+		b.backend = b.intSSD
+	case DRAMLess:
+		if b.sub, err = mkSub(cfg.Scheduler); err != nil {
+			return nil, err
+		}
+		b.backend = b.sub
+	case DRAMLessFirmware:
+		// Same PRAM subsystem, but every request is dispatched by
+		// traditional SSD firmware and the hardware schedulers are gone.
+		if b.sub, err = mkSub(memctrl.Noop); err != nil {
+			return nil, err
+		}
+		if b.fwWrap, err = ssd.NewFirmwareManaged(cfg.Firmware, b.sub); err != nil {
+			return nil, err
+		}
+		b.backend = b.fwWrap
+	case Ideal:
+		b.dram = mem.NewFlat("accel.dram", 1<<30, sim.Nanoseconds(100), 12.8e9)
+		b.backend = b.dram
+	default:
+		return nil, fmt.Errorf("system: unhandled kind %v", cfg.Kind)
+	}
+
+	acfg := cfg.Accel
+	acfg.SampleInterval = cfg.SampleInterval
+	if b.acc, err = accel.New(acfg, b.backend); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// populate places input data in the persistent store before measurement
+// (offline, untimed where the device allows it) and returns the earliest
+// measurable start time.
+func (b *build) populate(k workload.Kernel, p workload.Params) (sim.Time, error) {
+	// The input region gets its initial data; the output region gets
+	// stale bytes from an earlier job - a long-running accelerator never
+	// writes onto pristine cells, which is exactly the overwrite penalty
+	// selective erasing attacks.
+	total := k.FootprintBytes(p)
+	buf := make([]byte, 256<<10)
+	for i := range buf {
+		buf[i] = byte(i*131 + 7)
+	}
+	writeAll := func(dev mem.Device) (sim.Time, error) {
+		var t sim.Time
+		for off := int64(0); off < total; off += int64(len(buf)) {
+			n := int64(len(buf))
+			if n > total-off {
+				n = total - off
+			}
+			d, err := dev.Write(t, p.BaseAddr+uint64(off), buf[:n])
+			if err != nil {
+				return 0, err
+			}
+			t = d
+		}
+		return t, nil
+	}
+	switch b.cfg.Kind {
+	case Hetero, Heterodirect, HeteroPRAM, HeterodirectPRAM:
+		t, err := writeAll(b.extSSD)
+		if err != nil {
+			return 0, err
+		}
+		d, err := b.extSSD.Flush(t)
+		if err != nil {
+			return 0, err
+		}
+		b.extSSD.DropCaches() // measured run starts with a cold device cache
+		return d, nil
+	case IntegratedSLC, IntegratedMLC, IntegratedTLC, PageBuffer:
+		t, err := writeAll(b.intSSD)
+		if err != nil {
+			return 0, err
+		}
+		d, err := b.intSSD.Flush(t)
+		if err != nil {
+			return 0, err
+		}
+		b.intSSD.DropCaches()
+		return d, nil
+	case NORIntf:
+		return writeAll(b.nor)
+	case DRAMLess, DRAMLessFirmware:
+		// Boot the subsystem, then factory-load the input.
+		d, err := b.sub.Boot(0)
+		if err != nil {
+			return 0, err
+		}
+		for off := int64(0); off < total; off += int64(len(buf)) {
+			n := int64(len(buf))
+			if n > total-off {
+				n = total - off
+			}
+			if err := b.sub.Populate(p.BaseAddr+uint64(off), buf[:n]); err != nil {
+				return 0, err
+			}
+		}
+		return d, nil
+	case Ideal:
+		return writeAll(b.dram)
+	}
+	return 0, fmt.Errorf("system: unhandled kind %v", b.cfg.Kind)
+}
+
+// Run executes kernel k on the system described by cfg and returns the
+// full result.
+func Run(cfg Config, k workload.Kernel) (*Result, error) {
+	b, err := newBuild(cfg)
+	if err != nil {
+		return nil, err
+	}
+	p := workload.Params{Scale: cfg.Scale, Agents: cfg.Accel.NumPEs - 1}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	setupEnd, err := b.populate(k, p)
+	if err != nil {
+		return nil, err
+	}
+	runStart := setupEnd + sim.Microsecond
+	snap := b.snapshot()
+
+	in, out := k.InputBytes(p), k.OutputBytes(p)
+
+	// ---- Load phase: deliver the kernel image, and for heterogeneous
+	// systems stage the input into the accelerator DRAM. ----
+	loadEnd, err := b.loadPhase(runStart, k, p, in)
+	if err != nil {
+		return nil, err
+	}
+
+	// ---- Kernel phase. ----
+	rep, err := b.acc.RunKernel(loadEnd, k, p)
+	if err != nil {
+		return nil, err
+	}
+	kernelEnd := rep.End
+
+	// ---- Store phase: persist outputs. ----
+	storeEnd, err := b.storePhase(kernelEnd, k, p, out)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		Kind:      cfg.Kind,
+		Workload:  k.Name,
+		Load:      loadEnd - runStart,
+		Kernel:    kernelEnd - loadEnd,
+		Store:     storeEnd - kernelEnd,
+		Total:     storeEnd - runStart,
+		Report:    rep,
+		Footprint: k.FootprintBytes(p),
+		Time:      stats.NewBreakdown(),
+	}
+	res.Time.Add(TimeLoad, (loadEnd - runStart).Seconds())
+	// Split the kernel phase into aggregate compute vs memory wait using
+	// the agents' activity shares.
+	kw := (kernelEnd - loadEnd).Seconds()
+	act := rep.Compute.Seconds()
+	stl := rep.Stall.Seconds()
+	if act+stl > 0 {
+		res.Time.Add(TimeCompute, kw*act/(act+stl))
+		res.Time.Add(TimeStall, kw*stl/(act+stl))
+	} else {
+		res.Time.Add(TimeCompute, kw)
+	}
+	res.Time.Add(TimeStore, (storeEnd - kernelEnd).Seconds())
+
+	res.Energy = b.accountEnergy(snap, rep, runStart, loadEnd, kernelEnd, storeEnd)
+	return res, nil
+}
+
+// loadPhase stages inputs and delivers the kernel image.
+func (b *build) loadPhase(at sim.Time, k workload.Kernel, p workload.Params, in int64) (sim.Time, error) {
+	cfg := b.cfg
+	// Kernel image delivery is common to every organization: the host
+	// packs and pushes ~64 KiB over PCIe.
+	t := b.host.Submit(at)
+	t = b.accLink.DMA(t, imageBytes)
+
+	switch cfg.Kind {
+	case Hetero, HeteroPRAM:
+		// files -> host DRAM -> deserialize -> DMA to accelerator DRAM.
+		stackDone, _, _ := b.host.FileIO(at, in)
+		devDone := at
+		step := int64(cfg.Host.IOBytes)
+		for off := int64(0); off < in; off += step {
+			n := step
+			if n > in-off {
+				n = in - off
+			}
+			_, d, err := b.extSSD.Read(devDone, p.BaseAddr+uint64(off), int(n))
+			if err != nil {
+				return 0, err
+			}
+			devDone = d
+		}
+		t = sim.Max(t, sim.Max(stackDone, devDone))
+		t = b.host.Deserialize(t, in)
+		t = b.accLink.DMA(t, in)
+		// Land the data in the accelerator DRAM.
+		d, err := b.dram.Write(t, p.BaseAddr, make([]byte, minI64(in, 1<<20)))
+		if err != nil {
+			return 0, err
+		}
+		// Charge the remaining bandwidth time for large inputs.
+		if in > 1<<20 {
+			d += b.dramWriteTime(in - 1<<20)
+		}
+		return d, nil
+	case Heterodirect, HeterodirectPRAM:
+		// Peer-to-peer DMA: the host only submits; data flows
+		// SSD -> switch -> accelerator.
+		t = b.host.Submit(t)
+		devDone := at
+		step := int64(cfg.Host.IOBytes)
+		for off := int64(0); off < in; off += step {
+			n := step
+			if n > in-off {
+				n = in - off
+			}
+			_, d, err := b.extSSD.Read(devDone, p.BaseAddr+uint64(off), int(n))
+			if err != nil {
+				return 0, err
+			}
+			devDone = d
+		}
+		t = sim.Max(t, devDone)
+		t = b.p2p.Transfer(t, in)
+		t = b.host.Completion(t)
+		d, err := b.dram.Write(t, p.BaseAddr, make([]byte, minI64(in, 1<<20)))
+		if err != nil {
+			return 0, err
+		}
+		if in > 1<<20 {
+			d += b.dramWriteTime(in - 1<<20)
+		}
+		return d, nil
+	case DRAMLess, DRAMLessFirmware:
+		// Figure 9b: doorbell, image into the PRAM image space, server
+		// unpack, and - with selective erasing - pre-RESET the declared
+		// output region while the kernel loads.
+		t = b.accLink.Message(t)
+		img := &kernel.Image{
+			SharedAddr: b.backend.Size() - 4*imageBytes,
+			Shared:     make([]byte, 4<<10),
+			Apps:       make([]kernel.App, 0, p.Agents),
+		}
+		for i := 0; i < p.Agents; i++ {
+			img.Apps = append(img.Apps, kernel.App{
+				BootAddr: b.backend.Size() - 3*imageBytes + uint64(i*4<<10),
+				Code:     make([]byte, 2<<10),
+			})
+		}
+		push := func(at sim.Time, dst uint64, data []byte) (sim.Time, error) {
+			d := b.accLink.DMA(at, int64(len(data)))
+			return b.backend.Write(d, dst, data)
+		}
+		_, t2, err := kernel.Offload(t, img, b.backend.Size()-2*imageBytes, push, b.backend)
+		if err != nil {
+			return 0, err
+		}
+		if b.sub != nil {
+			outAddr := k.OutputAddr(p)
+			d, err := b.sub.PreErase(t2, outAddr, int(k.OutputBytes(p)))
+			if err != nil {
+				return 0, err
+			}
+			t2 = d
+		}
+		return sim.Max(t2, mem.DrainOf(b.backend, t2)), nil
+	default:
+		// Integrated systems, PAGE-buffer, NOR-intf and Ideal compute in
+		// place; only the image delivery is on the critical path.
+		return t, nil
+	}
+}
+
+// storePhase persists the kernel outputs.
+func (b *build) storePhase(at sim.Time, k workload.Kernel, p workload.Params, out int64) (sim.Time, error) {
+	switch b.cfg.Kind {
+	case Hetero, HeteroPRAM:
+		// accel DRAM -> DMA -> host stack -> SSD.
+		_, t, err := b.dram.Read(at, k.OutputAddr(p), int(minI64(out, 1<<20)))
+		if err != nil {
+			return 0, err
+		}
+		if out > 1<<20 {
+			t += b.dramWriteTime(out - 1<<20)
+		}
+		t = b.accLink.DMA(t, out)
+		stackDone, _, _ := b.host.FileIO(t, out)
+		t = stackDone
+		step := int64(b.cfg.Host.IOBytes)
+		for off := int64(0); off < out; off += step {
+			n := step
+			if n > out-off {
+				n = out - off
+			}
+			d, err := b.extSSD.Write(t, k.OutputAddr(p)+uint64(off), make([]byte, n))
+			if err != nil {
+				return 0, err
+			}
+			t = d
+		}
+		return b.extSSD.Flush(t)
+	case Heterodirect, HeterodirectPRAM:
+		_, t, err := b.dram.Read(at, k.OutputAddr(p), int(minI64(out, 1<<20)))
+		if err != nil {
+			return 0, err
+		}
+		if out > 1<<20 {
+			t += b.dramWriteTime(out - 1<<20)
+		}
+		t = b.host.Submit(t)
+		t = b.p2p.Transfer(t, out)
+		step := int64(b.cfg.Host.IOBytes)
+		for off := int64(0); off < out; off += step {
+			n := step
+			if n > out-off {
+				n = out - off
+			}
+			d, err := b.extSSD.Write(t, k.OutputAddr(p)+uint64(off), make([]byte, n))
+			if err != nil {
+				return 0, err
+			}
+			t = d
+		}
+		d, err := b.extSSD.Flush(t)
+		if err != nil {
+			return 0, err
+		}
+		return b.host.Completion(d), nil
+	case IntegratedSLC, IntegratedMLC, IntegratedTLC, PageBuffer:
+		// Dirty buffer pages must reach the medium.
+		return b.intSSD.Flush(at)
+	case DRAMLess, DRAMLessFirmware:
+		// Cache flush happened in RunKernel; wait out the posted
+		// programs and notify the host.
+		t := mem.DrainOf(b.backend, at)
+		return b.accLink.Message(t), nil
+	case NORIntf:
+		t := b.nor.Drain()
+		return b.accLink.Message(sim.Max(at, t)), nil
+	case Ideal:
+		return at, nil
+	}
+	return 0, fmt.Errorf("system: unhandled kind %v", b.cfg.Kind)
+}
+
+// dramWriteTime returns pure bandwidth time on the accel DRAM for sizes
+// beyond the functionally materialized first megabyte (keeps big staged
+// volumes from allocating giant buffers).
+func (b *build) dramWriteTime(n int64) sim.Duration {
+	return sim.Duration(float64(n) / 12.8e9 * float64(sim.Second))
+}
+
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,201 @@
+package workload
+
+import (
+	"fmt"
+
+	"dramless/internal/mem"
+	"dramless/internal/sim"
+)
+
+// Additional functional reference kernels (see compute.go): real
+// computations through a mem.Device, verifying the memory stack under the
+// access patterns of the timed benchmark models.
+
+// Doitgen computes the Polybench doitgen contraction through the device:
+//
+//	sum[r][q][p] = Σ_s A[r][q][s] * C4[s][p]
+//	A[r][q][p]   = sum[r][q][p]
+//
+// with A (nr x nq x np) at aBase and C4 (np x np) at cBase, both
+// row-major float64. The result overwrites A; the intermediate sum is the
+// kernel's write-intensive tensor.
+func Doitgen(dev mem.Device, at sim.Time, aBase, cBase uint64, nr, nq, np int) (sim.Time, error) {
+	if nr <= 0 || nq <= 0 || np <= 0 {
+		return 0, fmt.Errorf("workload: doitgen dims %dx%dx%d", nr, nq, np)
+	}
+	if _, err := NewVec(dev, aBase, nr*nq*np); err != nil {
+		return 0, err // validate the whole tensor region up front
+	}
+	c, err := NewVec(dev, cBase, np*np)
+	if err != nil {
+		return 0, err
+	}
+	c4, now, err := c.Snapshot(at)
+	if err != nil {
+		return 0, err
+	}
+	for r := 0; r < nr; r++ {
+		for q := 0; q < nq; q++ {
+			rowBase := aBase + uint64(8*(r*nq*np+q*np))
+			row, err := NewVec(dev, rowBase, np)
+			if err != nil {
+				return 0, err
+			}
+			vals, d, err := row.Snapshot(now)
+			if err != nil {
+				return 0, err
+			}
+			now = d
+			sum := make([]float64, np)
+			for p := 0; p < np; p++ {
+				for s := 0; s < np; s++ {
+					sum[p] += vals[s] * c4[s*np+p]
+				}
+			}
+			if now, err = row.Fill(now, sum); err != nil {
+				return 0, err
+			}
+		}
+	}
+	return now, nil
+}
+
+// DoitgenRef computes the same contraction in plain Go.
+func DoitgenRef(a []float64, c4 []float64, nr, nq, np int) []float64 {
+	out := append([]float64(nil), a...)
+	for r := 0; r < nr; r++ {
+		for q := 0; q < nq; q++ {
+			base := r*nq*np + q*np
+			sum := make([]float64, np)
+			for p := 0; p < np; p++ {
+				for s := 0; s < np; s++ {
+					sum[p] += out[base+s] * c4[s*np+p]
+				}
+			}
+			copy(out[base:base+np], sum)
+		}
+	}
+	return out
+}
+
+// Floyd runs the Floyd-Warshall all-pairs shortest paths over the n x n
+// distance matrix at base (row-major float64, +Inf for missing edges),
+// updating it in place through the device - the k-sweep structure is the
+// repeated full-matrix traversal the timed floyd model encodes.
+func Floyd(dev mem.Device, at sim.Time, base uint64, n int) (sim.Time, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("workload: floyd size %d", n)
+	}
+	m, err := NewVec(dev, base, n*n)
+	if err != nil {
+		return 0, err
+	}
+	now := at
+	for k := 0; k < n; k++ {
+		// Row k and column k drive this sweep.
+		rowK, d, err := rowSnapshot(dev, base, n, k, now)
+		if err != nil {
+			return 0, err
+		}
+		now = d
+		for i := 0; i < n; i++ {
+			dik, d1, err := m.Get(now, i*n+k)
+			if err != nil {
+				return 0, err
+			}
+			now = d1
+			rowI, d2, err := rowSnapshot(dev, base, n, i, now)
+			if err != nil {
+				return 0, err
+			}
+			now = d2
+			changed := false
+			for j := 0; j < n; j++ {
+				if via := dik + rowK[j]; via < rowI[j] {
+					rowI[j] = via
+					changed = true
+				}
+			}
+			if changed {
+				rv, err := NewVec(dev, base+uint64(8*i*n), n)
+				if err != nil {
+					return 0, err
+				}
+				if now, err = rv.Fill(now, rowI); err != nil {
+					return 0, err
+				}
+				if i == k {
+					rowK = rowI
+				}
+			}
+		}
+	}
+	return now, nil
+}
+
+func rowSnapshot(dev mem.Device, base uint64, n, row int, at sim.Time) ([]float64, sim.Time, error) {
+	v, err := NewVec(dev, base+uint64(8*row*n), n)
+	if err != nil {
+		return nil, 0, err
+	}
+	return v.Snapshot(at)
+}
+
+// FloydRef computes the same shortest paths in plain Go.
+func FloydRef(d []float64, n int) []float64 {
+	out := append([]float64(nil), d...)
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if via := out[i*n+k] + out[k*n+j]; via < out[i*n+j] {
+					out[i*n+j] = via
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Seidel runs the Polybench seidel-2d stencil (in-place Gauss-Seidel
+// averaging over a n x n grid) for the given steps through the device.
+func Seidel(dev mem.Device, at sim.Time, base uint64, n, steps int) (sim.Time, error) {
+	if n < 3 {
+		return 0, fmt.Errorf("workload: seidel grid %d too small", n)
+	}
+	m, err := NewVec(dev, base, n*n)
+	if err != nil {
+		return 0, err
+	}
+	now := at
+	for s := 0; s < steps; s++ {
+		grid, d, err := m.Snapshot(now)
+		if err != nil {
+			return 0, err
+		}
+		now = d
+		seidelSweep(grid, n)
+		if now, err = m.Fill(now, grid); err != nil {
+			return 0, err
+		}
+	}
+	return now, nil
+}
+
+// SeidelRef computes the same relaxation in plain Go.
+func SeidelRef(grid []float64, n, steps int) []float64 {
+	out := append([]float64(nil), grid...)
+	for s := 0; s < steps; s++ {
+		seidelSweep(out, n)
+	}
+	return out
+}
+
+func seidelSweep(g []float64, n int) {
+	for i := 1; i < n-1; i++ {
+		for j := 1; j < n-1; j++ {
+			g[i*n+j] = (g[(i-1)*n+j-1] + g[(i-1)*n+j] + g[(i-1)*n+j+1] +
+				g[i*n+j-1] + g[i*n+j] + g[i*n+j+1] +
+				g[(i+1)*n+j-1] + g[(i+1)*n+j] + g[(i+1)*n+j+1]) / 9
+		}
+	}
+}

@@ -1,0 +1,240 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"dramless/internal/mem"
+	"dramless/internal/sim"
+)
+
+// Third batch of functional reference kernels (see compute.go): the
+// factorization and recurrence workloads of the suite, computed for real
+// through a mem.Device.
+
+// LU performs the in-place Doolittle LU decomposition (no pivoting) of
+// the n x n matrix at base: afterwards the strict lower triangle holds L
+// (unit diagonal implied) and the upper triangle holds U. The matrix must
+// be such that no zero pivot arises (diagonally dominant inputs are safe).
+func LU(dev mem.Device, at sim.Time, base uint64, n int) (sim.Time, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("workload: lu size %d", n)
+	}
+	m, err := NewVec(dev, base, n*n)
+	if err != nil {
+		return 0, err
+	}
+	a, now, err := m.Snapshot(at)
+	if err != nil {
+		return 0, err
+	}
+	for k := 0; k < n; k++ {
+		if a[k*n+k] == 0 {
+			return 0, fmt.Errorf("workload: zero pivot at %d", k)
+		}
+		for i := k + 1; i < n; i++ {
+			a[i*n+k] /= a[k*n+k]
+			for j := k + 1; j < n; j++ {
+				a[i*n+j] -= a[i*n+k] * a[k*n+j]
+			}
+		}
+		// The factorization streams back row k and column k as it
+		// finalizes them - the in-place write pattern of the lu model.
+		rk, err := NewVec(dev, base+uint64(8*k*n), n)
+		if err != nil {
+			return 0, err
+		}
+		if now, err = rk.Fill(now, a[k*n:(k+1)*n]); err != nil {
+			return 0, err
+		}
+		for i := k + 1; i < n; i++ {
+			if now, err = m.Set(now, i*n+k, a[i*n+k]); err != nil {
+				return 0, err
+			}
+		}
+	}
+	return m.Fill(now, a)
+}
+
+// LURef computes the same decomposition in plain Go.
+func LURef(a []float64, n int) []float64 {
+	out := append([]float64(nil), a...)
+	for k := 0; k < n; k++ {
+		for i := k + 1; i < n; i++ {
+			out[i*n+k] /= out[k*n+k]
+			for j := k + 1; j < n; j++ {
+				out[i*n+j] -= out[i*n+k] * out[k*n+j]
+			}
+		}
+	}
+	return out
+}
+
+// Cholesky factors the symmetric positive-definite n x n matrix at base
+// into L (lower triangular, L L^T = A), writing L over the lower triangle
+// through the device.
+func Cholesky(dev mem.Device, at sim.Time, base uint64, n int) (sim.Time, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("workload: cholesky size %d", n)
+	}
+	m, err := NewVec(dev, base, n*n)
+	if err != nil {
+		return 0, err
+	}
+	a, now, err := m.Snapshot(at)
+	if err != nil {
+		return 0, err
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := a[i*n+j]
+			for k := 0; k < j; k++ {
+				sum -= a[i*n+k] * a[j*n+k]
+			}
+			if i == j {
+				if sum <= 0 {
+					return 0, fmt.Errorf("workload: matrix not positive definite at %d (pivot %g)", i, sum)
+				}
+				a[i*n+i] = math.Sqrt(sum)
+			} else {
+				a[i*n+j] = sum / a[j*n+j]
+			}
+		}
+		ri, err := NewVec(dev, base+uint64(8*i*n), i+1)
+		if err != nil {
+			return 0, err
+		}
+		if now, err = ri.Fill(now, a[i*n:i*n+i+1]); err != nil {
+			return 0, err
+		}
+	}
+	return now, nil
+}
+
+// CholeskyRef computes the same factor in plain Go (lower triangle).
+func CholeskyRef(a []float64, n int) []float64 {
+	out := append([]float64(nil), a...)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := out[i*n+j]
+			for k := 0; k < j; k++ {
+				sum -= out[i*n+k] * out[j*n+k]
+			}
+			if i == j {
+				out[i*n+i] = math.Sqrt(sum)
+			} else {
+				out[i*n+j] = sum / out[j*n+j]
+			}
+		}
+	}
+	return out
+}
+
+// Durbin solves the Yule-Walker system of a symmetric Toeplitz matrix
+// with first column (1, r[0], ..., r[n-2]) via Levinson-Durbin recursion:
+// the classic Polybench durbin kernel. r (n-1 values) is read from rBase
+// and the solution y (n-1 values) is written to yBase.
+func Durbin(dev mem.Device, at sim.Time, rBase, yBase uint64, n int) (sim.Time, error) {
+	if n < 2 {
+		return 0, fmt.Errorf("workload: durbin size %d", n)
+	}
+	rv, err := NewVec(dev, rBase, n-1)
+	if err != nil {
+		return 0, err
+	}
+	r, now, err := rv.Snapshot(at)
+	if err != nil {
+		return 0, err
+	}
+	y, err := DurbinRef(r)
+	if err != nil {
+		return 0, err
+	}
+	yv, err := NewVec(dev, yBase, n-1)
+	if err != nil {
+		return 0, err
+	}
+	return yv.Fill(now, y)
+}
+
+// DurbinRef runs the Levinson-Durbin recursion in plain Go.
+func DurbinRef(r []float64) ([]float64, error) {
+	n := len(r)
+	if n == 0 {
+		return nil, fmt.Errorf("workload: empty autocorrelation")
+	}
+	y := make([]float64, n)
+	z := make([]float64, n)
+	alpha := -r[0]
+	beta := 1.0
+	y[0] = -r[0]
+	for k := 1; k < n; k++ {
+		beta *= 1 - alpha*alpha
+		if beta == 0 {
+			return nil, fmt.Errorf("workload: singular Toeplitz system at step %d", k)
+		}
+		sum := 0.0
+		for i := 0; i < k; i++ {
+			sum += r[k-i-1] * y[i]
+		}
+		alpha = -(r[k] + sum) / beta
+		for i := 0; i < k; i++ {
+			z[i] = y[i] + alpha*y[k-i-1]
+		}
+		copy(y[:k], z[:k])
+		y[k] = alpha
+	}
+	return y, nil
+}
+
+// ADI runs `steps` iterations of a simplified alternating-direction
+// implicit smoother on the n x n grid at base: each step does a row-wise
+// tridiagonal relaxation followed by a column-wise one, through the
+// device - the alternating traversal directions are exactly what makes
+// the timed adi model half strided.
+func ADI(dev mem.Device, at sim.Time, base uint64, n, steps int) (sim.Time, error) {
+	if n < 3 {
+		return 0, fmt.Errorf("workload: adi grid %d too small", n)
+	}
+	m, err := NewVec(dev, base, n*n)
+	if err != nil {
+		return 0, err
+	}
+	now := at
+	for s := 0; s < steps; s++ {
+		g, d, err := m.Snapshot(now)
+		if err != nil {
+			return 0, err
+		}
+		now = d
+		adiSweep(g, n)
+		if now, err = m.Fill(now, g); err != nil {
+			return 0, err
+		}
+	}
+	return now, nil
+}
+
+// ADIRef computes the same smoothing in plain Go.
+func ADIRef(grid []float64, n, steps int) []float64 {
+	out := append([]float64(nil), grid...)
+	for s := 0; s < steps; s++ {
+		adiSweep(out, n)
+	}
+	return out
+}
+
+func adiSweep(g []float64, n int) {
+	// Row-wise pass.
+	for i := 0; i < n; i++ {
+		for j := 1; j < n-1; j++ {
+			g[i*n+j] = (g[i*n+j-1] + 2*g[i*n+j] + g[i*n+j+1]) / 4
+		}
+	}
+	// Column-wise pass (the strided direction).
+	for j := 0; j < n; j++ {
+		for i := 1; i < n-1; i++ {
+			g[i*n+j] = (g[(i-1)*n+j] + 2*g[i*n+j] + g[(i+1)*n+j]) / 4
+		}
+	}
+}

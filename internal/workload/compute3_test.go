@@ -1,0 +1,241 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+// diagDominant builds an n x n diagonally dominant matrix (safe for LU
+// without pivoting and, after symmetrization, positive definite).
+func diagDominant(n int) []float64 {
+	a := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		var row float64
+		for j := 0; j < n; j++ {
+			if i != j {
+				a[i*n+j] = float64((i*3+j*7)%5) - 2
+				row += math.Abs(a[i*n+j])
+			}
+		}
+		a[i*n+i] = row + 3
+	}
+	return a
+}
+
+func TestLUMatchesReference(t *testing.T) {
+	d := dev()
+	n := 12
+	a := diagDominant(n)
+	v, _ := NewVec(d, 0, n*n)
+	now, err := v.Fill(0, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, err := LU(d, now, 0, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := v.Snapshot(done)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := LURef(a, n)
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Fatalf("LU[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// Reconstruction check: L*U must reproduce A.
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var sum float64
+			for k := 0; k <= min(i, j); k++ {
+				l := got[i*n+k]
+				if k == i {
+					l = 1
+				}
+				if k > i {
+					l = 0
+				}
+				u := got[k*n+j]
+				if k > j {
+					u = 0
+				}
+				sum += l * u
+			}
+			if math.Abs(sum-a[i*n+j]) > 1e-8 {
+				t.Fatalf("L*U[%d,%d] = %v, want %v", i, j, sum, a[i*n+j])
+			}
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestCholeskyMatchesReference(t *testing.T) {
+	d := dev()
+	n := 10
+	// Symmetric positive definite: B = M M^T + n*I from a dominant M.
+	m0 := diagDominant(n)
+	a := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			for k := 0; k < n; k++ {
+				s += m0[i*n+k] * m0[j*n+k]
+			}
+			a[i*n+j] = s
+			if i == j {
+				a[i*n+j] += float64(n)
+			}
+		}
+	}
+	v, _ := NewVec(d, 0, n*n)
+	now, err := v.Fill(0, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, err := Cholesky(d, now, 0, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := v.Snapshot(done)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := CholeskyRef(a, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			if math.Abs(got[i*n+j]-want[i*n+j]) > 1e-8 {
+				t.Fatalf("L[%d,%d] = %v, want %v", i, j, got[i*n+j], want[i*n+j])
+			}
+		}
+	}
+	// L L^T must reproduce A's lower triangle.
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			var s float64
+			for k := 0; k <= j; k++ {
+				s += got[i*n+k] * got[j*n+k]
+			}
+			if math.Abs(s-a[i*n+j]) > 1e-6*math.Abs(a[i*n+j]) {
+				t.Fatalf("LL^T[%d,%d] = %v, want %v", i, j, s, a[i*n+j])
+			}
+		}
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	d := dev()
+	n := 4
+	a := make([]float64, n*n) // all zeros: not positive definite
+	v, _ := NewVec(d, 0, n*n)
+	now, _ := v.Fill(0, a)
+	if _, err := Cholesky(d, now, 0, n); err == nil {
+		t.Fatal("indefinite matrix accepted")
+	}
+}
+
+func TestDurbinSolvesYuleWalker(t *testing.T) {
+	d := dev()
+	n := 9
+	r := make([]float64, n-1)
+	for i := range r {
+		// A decaying autocorrelation keeps the Toeplitz system well
+		// conditioned.
+		r[i] = 0.5 / float64(i+2)
+	}
+	rv, _ := NewVec(d, 0, n-1)
+	now, err := rv.Fill(0, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, err := Durbin(d, now, 0, 4096, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	yv, _ := NewVec(d, 4096, n-1)
+	y, _, err := yv.Snapshot(done)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Verify T y = -r where T is the symmetric Toeplitz matrix with
+	// first row (1, r[0], ..., r[n-3]).
+	toeplitz := func(i, j int) float64 {
+		k := i - j
+		if k < 0 {
+			k = -k
+		}
+		if k == 0 {
+			return 1
+		}
+		return r[k-1]
+	}
+	for i := 0; i < n-1; i++ {
+		var s float64
+		for j := 0; j < n-1; j++ {
+			s += toeplitz(i, j) * y[j]
+		}
+		if math.Abs(s+r[i]) > 1e-9 {
+			t.Fatalf("row %d: Ty = %v, want %v", i, s, -r[i])
+		}
+	}
+}
+
+func TestADIMatchesReference(t *testing.T) {
+	d := dev()
+	n, steps := 14, 3
+	grid := fill64(n*n, func(i int) float64 { return math.Sin(float64(i) / 9) })
+	v, _ := NewVec(d, 0, n*n)
+	now, err := v.Fill(0, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, err := ADI(d, now, 0, n, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := v.Snapshot(done)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ADIRef(grid, n, steps)
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("g[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// Smoothing contracts the range.
+	var inMax, outMax float64
+	for i := range grid {
+		inMax = math.Max(inMax, math.Abs(grid[i]))
+		outMax = math.Max(outMax, math.Abs(got[i]))
+	}
+	if outMax > inMax+1e-12 {
+		t.Fatal("ADI smoothing expanded the range")
+	}
+}
+
+func TestCompute3ArgValidation(t *testing.T) {
+	d := dev()
+	if _, err := LU(d, 0, 0, 0); err == nil {
+		t.Error("zero LU size accepted")
+	}
+	if _, err := Cholesky(d, 0, 0, -1); err == nil {
+		t.Error("negative cholesky size accepted")
+	}
+	if _, err := Durbin(d, 0, 0, 64, 1); err == nil {
+		t.Error("size-1 durbin accepted")
+	}
+	if _, err := ADI(d, 0, 0, 2, 1); err == nil {
+		t.Error("tiny ADI grid accepted")
+	}
+	if _, err := DurbinRef(nil); err == nil {
+		t.Error("empty durbin input accepted")
+	}
+}
