@@ -1,0 +1,25 @@
+# Tier-1 verification: build + test must stay green on every PR.
+# `make race` additionally runs the race detector over the whole module;
+# the experiments layer executes simulations on a worker pool, so race
+# coverage is part of the concurrency contract (see DESIGN.md §"Concurrency
+# model").
+
+GO ?= go
+
+.PHONY: build test race bench verify
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Full benchmark sweep; BenchmarkAllExperiments is the top-level number
+# to track (serial vs parallel over the shared result cache).
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem ./...
+
+verify: test race

@@ -61,6 +61,43 @@ func meanOf(tab *dramless.ExperimentTable, key string) float64 {
 // reasonable while covering the full workload suite.
 func fastOpts() dramless.ExperimentOptions { return dramless.FastExperiments() }
 
+// ---- Full suite ----
+
+// BenchmarkAllExperiments regenerates every table and figure through one
+// shared engine, serial versus pool-parallel - the top-level number to
+// track across PRs. The parallel variant uses the same cross-experiment
+// result cache, so the serial/parallel ratio isolates the worker pool's
+// contribution; sims/cache-hits metrics expose the dedup itself.
+func BenchmarkAllExperiments(b *testing.B) {
+	for _, bc := range []struct {
+		name string
+		par  int
+	}{
+		{"serial", 1},
+		{"parallel", 0}, // GOMAXPROCS workers
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			o := fastOpts()
+			o.Parallelism = bc.par
+			var st dramless.ExperimentRunStats
+			for i := 0; i < b.N; i++ {
+				eng := dramless.NewExperimentEngine(o)
+				tabs, err := eng.Tables()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(tabs) != len(dramless.ExperimentIDs()) {
+					b.Fatalf("got %d tables, want %d", len(tabs), len(dramless.ExperimentIDs()))
+				}
+				st = eng.Stats()
+			}
+			b.ReportMetric(float64(st.Runs), "sims")
+			b.ReportMetric(float64(st.Hits), "cache-hits")
+			b.ReportMetric(float64(st.Workers), "workers")
+		})
+	}
+}
+
 // ---- Figures ----
 
 func BenchmarkFig01_MotivationIdealVsReal(b *testing.B) {

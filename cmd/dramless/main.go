@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	dramless experiments [-full] [-scale N] [-kernels a,b,c] [id ...]
+//	dramless experiments [-full] [-scale N] [-kernels a,b,c] [-parallel N] [id ...]
 //	dramless run -system DRAM-less -kernel gemver [-scale N]
 //	dramless list
 //
@@ -48,8 +48,10 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `dramless - HPCA'20 "DRAM-less" reproduction harness
 
 commands:
-  experiments [-full] [-scale bytes] [-kernels a,b,c] [id ...]
-        regenerate the paper's tables/figures (default: all of them)
+  experiments [-full] [-scale bytes] [-kernels a,b,c] [-parallel N] [id ...]
+        regenerate the paper's tables/figures (default: all of them);
+        -parallel bounds the simulation worker pool (0 = GOMAXPROCS,
+        1 = serial) - output is byte-identical at any setting
   run   -system <name> -kernel <name> [-scale bytes]
         one end-to-end system simulation with full breakdowns
   trace [-addr N] [-n bytes] [-write] [-scheduler name]
@@ -78,6 +80,7 @@ func cmdExperiments(args []string) {
 	asJSON := fs.Bool("json", false, "emit JSON instead of tables")
 	scale := fs.Int64("scale", 0, "override footprint scale in bytes")
 	kernels := fs.String("kernels", "", "comma-separated kernel subset")
+	parallel := fs.Int("parallel", 0, "simulation worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	fs.Parse(args)
 
 	o := dramless.FastExperiments()
@@ -90,14 +93,20 @@ func cmdExperiments(args []string) {
 	if *kernels != "" {
 		o.Kernels = strings.Split(*kernels, ",")
 	}
+	o.Parallelism = *parallel
 
 	ids := fs.Args()
 	if len(ids) == 0 {
 		ids = dramless.ExperimentIDs()
 	}
+	// One engine for the whole invocation: experiments share a result
+	// cache (fig15/16/17 walk the same system x kernel matrix) and
+	// distinct simulations spread over the worker pool.
+	eng := dramless.NewExperimentEngine(o)
+	wall := time.Now()
 	for _, id := range ids {
 		start := time.Now()
-		tab, err := dramless.Experiment(id, o)
+		tab, err := eng.Table(id)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
 			os.Exit(1)
@@ -114,6 +123,9 @@ func cmdExperiments(args []string) {
 			tab.Print(os.Stdout)
 			fmt.Printf("(%s in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
 		}
+	}
+	if !*asJSON {
+		fmt.Printf("engine: %s; wall %v\n", eng.Stats(), time.Since(wall).Round(time.Millisecond))
 	}
 }
 

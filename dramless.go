@@ -30,6 +30,7 @@ import (
 	"dramless/internal/kernel"
 	"dramless/internal/mem"
 	"dramless/internal/memctrl"
+	"dramless/internal/runner"
 	"dramless/internal/sim"
 	"dramless/internal/system"
 	"dramless/internal/workload"
@@ -240,8 +241,35 @@ func RunSystem(cfg SystemConfig, w Workload) (*SystemResult, error) {
 // ExperimentTable is a printable experiment result.
 type ExperimentTable = experiments.Table
 
-// ExperimentOptions scales the experiment harness.
+// ExperimentOptions scales the experiment harness. Parallelism bounds
+// the run engine's worker pool (0 = GOMAXPROCS, 1 = serial); rendered
+// tables are byte-identical at any setting.
 type ExperimentOptions = experiments.Options
+
+// ExperimentEngine is the parallel experiment run engine: one shared,
+// deduplicating simulation cache over a bounded worker pool. Every
+// distinct (system configuration, kernel) simulation executes exactly
+// once per engine no matter how many experiments need it; distinct
+// simulations run on up to ExperimentOptions.Parallelism goroutines,
+// while each simulation stays single-goroutine and deterministic.
+type ExperimentEngine = experiments.Engine
+
+// ExperimentRunStats is the engine's cache and pool accounting
+// (simulations run, cache hits, coalesced requests, worker bound).
+type ExperimentRunStats = runner.Stats
+
+// NewExperimentEngine builds a run engine. Experiments regenerated
+// through the same engine (Table, Tables) share its result cache.
+func NewExperimentEngine(o ExperimentOptions) *ExperimentEngine {
+	return experiments.NewEngine(o)
+}
+
+// Experiments regenerates the identified tables and figures - all of
+// them, in paper order, when ids is empty - through one shared engine,
+// so common simulations run once and independent ones run in parallel.
+func Experiments(o ExperimentOptions, ids ...string) ([]*ExperimentTable, error) {
+	return experiments.NewEngine(o).Tables(ids...)
+}
 
 // ExperimentIDs lists every reproducible table and figure.
 func ExperimentIDs() []string {

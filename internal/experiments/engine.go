@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"dramless/internal/runner"
+	"dramless/internal/system"
+	"dramless/internal/workload"
+)
+
+// runKey identifies one simulation cell: the full system configuration
+// plus the kernel name. system.Config is a comparable value type, so two
+// experiments that need the same cell - fig15, fig16 and fig17 all walk
+// the same ten systems - share one cached system.Run result.
+type runKey struct {
+	cfg    system.Config
+	kernel string
+}
+
+// Engine is the parallel run engine behind the experiment harness. It
+// owns a single cross-experiment result cache over a bounded worker
+// pool: every distinct (config, kernel) simulation executes exactly once
+// per engine, concurrent requests for the same cell coalesce, and
+// distinct cells run on up to Options.Parallelism goroutines.
+//
+// Parallelism is across simulations only. Each simulation keeps its own
+// single-goroutine sim.Engine, so results - and therefore every rendered
+// table - are byte-identical to a serial run at any worker count.
+type Engine struct {
+	o Options
+	r *runner.Runner[runKey, *system.Result]
+}
+
+// NewEngine builds an engine for one experiment invocation. Experiments
+// regenerated through the same engine share its result cache.
+func NewEngine(o Options) *Engine {
+	return &Engine{
+		o: o,
+		r: runner.New(o.Parallelism, func(k runKey) (*system.Result, error) {
+			res, err := system.Run(k.cfg, workload.MustByName(k.kernel))
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", k.cfg.Kind, k.kernel, err)
+			}
+			return res, nil
+		}),
+	}
+}
+
+// Options returns the engine's scaling options.
+func (e *Engine) Options() Options { return e.o }
+
+// Stats reports the engine's cache and pool accounting.
+func (e *Engine) Stats() runner.Stats { return e.r.Stats() }
+
+// get returns the default-config cell for kind x kernel, running it if
+// no experiment has needed it yet.
+func (e *Engine) get(kind system.Kind, k workload.Kernel) (*system.Result, error) {
+	return e.getCfg(e.o.config(kind), k)
+}
+
+// getCfg is get for a custom configuration (scheduler sweeps, sampling
+// time series, shrunk footprints).
+func (e *Engine) getCfg(cfg system.Config, k workload.Kernel) (*system.Result, error) {
+	return e.r.Get(runKey{cfg: cfg, kernel: k.Name})
+}
+
+// prefetch enqueues the kinds x kernels product on the worker pool so
+// the serial assembly loop that follows finds its cells finished or in
+// flight. Cells another experiment already ran are skipped.
+func (e *Engine) prefetch(kinds []system.Kind, kernels []workload.Kernel) {
+	keys := make([]runKey, 0, len(kinds)*len(kernels))
+	for _, kind := range kinds {
+		cfg := e.o.config(kind)
+		for _, k := range kernels {
+			keys = append(keys, runKey{cfg: cfg, kernel: k.Name})
+		}
+	}
+	e.r.Prefetch(keys...)
+}
+
+// prefetchCfg enqueues custom-configuration cells.
+func (e *Engine) prefetchCfg(cfg system.Config, kernels ...workload.Kernel) {
+	keys := make([]runKey, 0, len(kernels))
+	for _, k := range kernels {
+		keys = append(keys, runKey{cfg: cfg, kernel: k.Name})
+	}
+	e.r.Prefetch(keys...)
+}
+
+// Table regenerates one experiment by id through the shared cache.
+func (e *Engine) Table(id string) (*Table, error) {
+	for _, x := range Registry() {
+		if x.ID == id {
+			return x.Gen(e)
+		}
+	}
+	return nil, fmt.Errorf("experiments: unknown experiment %q", id)
+}
+
+// Tables regenerates the identified experiments - all of them, in paper
+// order, when ids is empty - and returns the tables in request order.
+//
+// With one worker the experiments run serially in order. Otherwise each
+// experiment runs on its own goroutine over the shared pool-bounded
+// cache; assembly order is fixed by the ids slice, so the output is
+// byte-identical to the serial run. The first error in request order is
+// returned; a panicking generator re-panics on the calling goroutine,
+// matching serial behaviour.
+func (e *Engine) Tables(ids ...string) ([]*Table, error) {
+	if len(ids) == 0 {
+		for _, x := range Registry() {
+			ids = append(ids, x.ID)
+		}
+	}
+	tabs := make([]*Table, len(ids))
+	if e.r.Workers() == 1 {
+		for i, id := range ids {
+			t, err := e.Table(id)
+			if err != nil {
+				return nil, err
+			}
+			tabs[i] = t
+		}
+		return tabs, nil
+	}
+	errs := make([]error, len(ids))
+	panics := make([]any, len(ids))
+	var wg sync.WaitGroup
+	for i, id := range ids {
+		wg.Add(1)
+		go func(i int, id string) {
+			defer wg.Done()
+			defer func() { panics[i] = recover() }()
+			tabs[i], errs[i] = e.Table(id)
+		}(i, id)
+	}
+	wg.Wait()
+	for i := range ids {
+		if panics[i] != nil {
+			panic(panics[i])
+		}
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+	}
+	return tabs, nil
+}

@@ -26,6 +26,12 @@ type Options struct {
 	Scale int64
 	// Kernels restricts the workload set (nil = full suite).
 	Kernels []string
+	// Parallelism bounds the run engine's worker pool: distinct
+	// system x kernel simulations execute on up to this many goroutines
+	// (each simulation stays single-goroutine). 0 selects GOMAXPROCS;
+	// 1 forces serial execution. Rendered tables are byte-identical at
+	// any setting.
+	Parallelism int
 }
 
 // Fast returns options sized for quick benchmark runs.
@@ -142,27 +148,6 @@ func (t *Table) Summary() string {
 		fmt.Fprintf(&sb, " %s=%.3g", c, stats.Mean(vs))
 	}
 	return sb.String()
-}
-
-// matrix runs (and memoizes) system x kernel results.
-type matrix struct {
-	o    Options
-	runs map[string]*system.Result
-}
-
-func newMatrix(o Options) *matrix { return &matrix{o: o, runs: map[string]*system.Result{}} }
-
-func (m *matrix) get(kind system.Kind, k workload.Kernel) (*system.Result, error) {
-	key := kind.String() + "/" + k.Name
-	if r, ok := m.runs[key]; ok {
-		return r, nil
-	}
-	r, err := system.Run(m.o.config(kind), k)
-	if err != nil {
-		return nil, fmt.Errorf("%s: %w", key, err)
-	}
-	m.runs[key] = r
-	return r, nil
 }
 
 // sortedKeys helps deterministic notes.

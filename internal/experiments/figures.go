@@ -11,31 +11,44 @@ import (
 	"dramless/internal/workload"
 )
 
+// The figure generators run as methods on a shared *Engine so every
+// system x kernel simulation is computed once per invocation no matter
+// how many figures need it, and so distinct cells execute on the
+// engine's worker pool. Each generator first prefetches the cells it
+// will read, then assembles its rows in a fixed serial order - the
+// rendered tables are byte-identical at any parallelism. The package
+// also keeps an Options-level function per figure (Fig01, Fig15, ...)
+// that runs on a private engine, for one-off use.
+
 // Fig01 reproduces the motivation study: application performance and
 // energy of a real accelerated system (Hetero) normalized to an ideal
 // system whose accelerator memory already holds all data. The paper
 // reports up to 74% performance degradation and ~9x energy.
-func Fig01(o Options) (*Table, error) {
+func Fig01(o Options) (*Table, error) { return NewEngine(o).Fig01() }
+
+// Fig01 generates Figure 1 through the engine's shared cache.
+func (e *Engine) Fig01() (*Table, error) {
+	o := e.o
 	t := &Table{ID: "fig01", Title: "accelerated system vs ideal (normalized)"}
-	m := newMatrix(o)
+	e.prefetch([]system.Kind{system.Hetero, system.Ideal}, o.kernels())
 	var perf, en []float64
 	for _, k := range o.kernels() {
-		real, err := m.get(system.Hetero, k)
+		real, err := e.get(system.Hetero, k)
 		if err != nil {
 			return nil, err
 		}
-		ideal, err := m.get(system.Ideal, k)
+		ideal, err := e.get(system.Ideal, k)
 		if err != nil {
 			return nil, err
 		}
 		r := newRow(k.Name)
 		p := ideal.Total.Seconds() / real.Total.Seconds() // normalized perf
-		e := real.Energy.Total() / ideal.Energy.Total()   // normalized energy
+		e2 := real.Energy.Total() / ideal.Energy.Total()  // normalized energy
 		r.set("norm-perf", p)
-		r.set("norm-energy", e)
+		r.set("norm-energy", e2)
 		t.Rows = append(t.Rows, r)
 		perf = append(perf, p)
-		en = append(en, e)
+		en = append(en, e2)
 	}
 	t.Notes = append(t.Notes,
 		fmt.Sprintf("mean normalized performance %.2f (degradation %.0f%%), mean normalized energy %.1fx (paper: up to 74%% degradation, ~9x energy)",
@@ -46,16 +59,20 @@ func Fig01(o Options) (*Table, error) {
 // Fig07 reproduces the firmware study: performance degradation of
 // managing the PRAM subsystem with traditional SSD firmware versus the
 // oracle hardware-automated controller (the paper reports up to 80%).
-func Fig07(o Options) (*Table, error) {
+func Fig07(o Options) (*Table, error) { return NewEngine(o).Fig07() }
+
+// Fig07 generates Figure 7 through the engine's shared cache.
+func (e *Engine) Fig07() (*Table, error) {
+	o := e.o
 	t := &Table{ID: "fig07", Title: "firmware-managed PRAM vs oracle controller"}
-	m := newMatrix(o)
+	e.prefetch([]system.Kind{system.DRAMLessFirmware, system.DRAMLess}, o.kernels())
 	var degr []float64
 	for _, k := range o.kernels() {
-		fw, err := m.get(system.DRAMLessFirmware, k)
+		fw, err := e.get(system.DRAMLessFirmware, k)
 		if err != nil {
 			return nil, err
 		}
-		oracle, err := m.get(system.DRAMLess, k)
+		oracle, err := e.get(system.DRAMLess, k)
 		if err != nil {
 			return nil, err
 		}
@@ -108,17 +125,26 @@ func Fig12(Options) (*Table, error) {
 // Fig13 reproduces the scheduler study: data-processing bandwidth of the
 // DRAM-less subsystem under Bare-metal / Interleaving / Selective-erasing
 // / Final, plus each workload's write ratio (the circles).
-func Fig13(o Options) (*Table, error) {
+func Fig13(o Options) (*Table, error) { return NewEngine(o).Fig13() }
+
+// Fig13 generates Figure 13 through the engine's shared cache.
+func (e *Engine) Fig13() (*Table, error) {
+	o := e.o
 	t := &Table{ID: "fig13", Title: "scheduler bandwidth, normalized to Bare-metal"}
 	scheds := []memctrl.Scheduler{memctrl.Noop, memctrl.Interleave, memctrl.SelErase, memctrl.Final}
+	cfgs := make(map[memctrl.Scheduler]system.Config, len(scheds))
+	for _, s := range scheds {
+		cfg := o.config(system.DRAMLess)
+		cfg.Scheduler = s
+		cfgs[s] = cfg
+		e.prefetchCfg(cfg, o.kernels()...)
+	}
 	gains := map[memctrl.Scheduler][]float64{}
 	for _, k := range o.kernels() {
 		row := newRow(k.Name)
 		var base float64
 		for _, s := range scheds {
-			cfg := o.config(system.DRAMLess)
-			cfg.Scheduler = s
-			res, err := system.Run(cfg, k)
+			res, err := e.getCfg(cfgs[s], k)
 			if err != nil {
 				return nil, err
 			}
@@ -144,19 +170,23 @@ func Fig13(o Options) (*Table, error) {
 
 // Fig15 reproduces the headline throughput comparison: the ten systems'
 // data-processing bandwidth normalized to Hetero.
-func Fig15(o Options) (*Table, error) {
+func Fig15(o Options) (*Table, error) { return NewEngine(o).Fig15() }
+
+// Fig15 generates Figure 15 through the engine's shared cache.
+func (e *Engine) Fig15() (*Table, error) {
+	o := e.o
 	t := &Table{ID: "fig15", Title: "throughput normalized to Hetero"}
-	m := newMatrix(o)
 	kinds := system.Fig15Kinds()
+	e.prefetch(kinds, o.kernels())
 	norm := map[system.Kind][]float64{}
 	for _, k := range o.kernels() {
-		base, err := m.get(system.Hetero, k)
+		base, err := e.get(system.Hetero, k)
 		if err != nil {
 			return nil, err
 		}
 		row := newRow(k.Name)
 		for _, kind := range kinds {
-			res, err := m.get(kind, k)
+			res, err := e.get(kind, k)
 			if err != nil {
 				return nil, err
 			}
@@ -175,14 +205,18 @@ func Fig15(o Options) (*Table, error) {
 }
 
 // Fig16 reproduces the execution-time decomposition.
-func Fig16(o Options) (*Table, error) {
+func Fig16(o Options) (*Table, error) { return NewEngine(o).Fig16() }
+
+// Fig16 generates Figure 16 through the engine's shared cache.
+func (e *Engine) Fig16() (*Table, error) {
+	o := e.o
 	t := &Table{ID: "fig16", Title: "execution time decomposition (fraction of total)"}
-	m := newMatrix(o)
+	e.prefetch(system.Fig15Kinds(), o.kernels())
 	comps := []string{system.TimeLoad, system.TimeCompute, system.TimeStall, system.TimeStore}
 	for _, kind := range system.Fig15Kinds() {
 		agg := stats.NewBreakdown()
 		for _, k := range o.kernels() {
-			res, err := m.get(kind, k)
+			res, err := e.get(kind, k)
 			if err != nil {
 				return nil, err
 			}
@@ -199,9 +233,13 @@ func Fig16(o Options) (*Table, error) {
 }
 
 // Fig17 reproduces the energy decomposition, normalized to Hetero.
-func Fig17(o Options) (*Table, error) {
+func Fig17(o Options) (*Table, error) { return NewEngine(o).Fig17() }
+
+// Fig17 generates Figure 17 through the engine's shared cache.
+func (e *Engine) Fig17() (*Table, error) {
+	o := e.o
 	t := &Table{ID: "fig17", Title: "energy decomposition (J, plus total normalized to Hetero)"}
-	m := newMatrix(o)
+	e.prefetch(system.Fig15Kinds(), o.kernels())
 	comps := []string{
 		energy.CompHost, energy.CompHostDRAM, energy.CompPCIe, energy.CompSSD,
 		energy.CompCore, energy.CompCache, energy.CompDRAM, energy.CompFlash,
@@ -209,7 +247,7 @@ func Fig17(o Options) (*Table, error) {
 	}
 	baseTotals := map[string]float64{}
 	for _, k := range o.kernels() {
-		res, err := m.get(system.Hetero, k)
+		res, err := e.get(system.Hetero, k)
 		if err != nil {
 			return nil, err
 		}
@@ -221,7 +259,7 @@ func Fig17(o Options) (*Table, error) {
 		agg := stats.NewBreakdown()
 		var norms []float64
 		for _, k := range o.kernels() {
-			res, err := m.get(kind, k)
+			res, err := e.get(kind, k)
 			if err != nil {
 				return nil, err
 			}
@@ -254,14 +292,23 @@ func timeSeriesKinds() []system.Kind {
 	}
 }
 
+// ipcConfig is the sampling configuration of the Figure 18/19 series.
+func (e *Engine) ipcConfig(kind system.Kind) system.Config {
+	cfg := e.o.config(kind)
+	cfg.SampleInterval = 50 * sim.Microsecond
+	return cfg
+}
+
 // figIPC builds an IPC time-series table for one workload.
-func figIPC(id, kname string, o Options) (*Table, error) {
+func (e *Engine) figIPC(id, kname string) (*Table, error) {
 	t := &Table{ID: id, Title: "total IPC over time, " + kname}
 	k := workload.MustByName(kname)
 	for _, kind := range timeSeriesKinds() {
-		cfg := o.config(kind)
-		cfg.SampleInterval = 50 * sim.Microsecond
-		res, err := system.Run(cfg, k)
+		e.prefetchCfg(e.ipcConfig(kind), k)
+	}
+	for _, kind := range timeSeriesKinds() {
+		cfg := e.ipcConfig(kind)
+		res, err := e.getCfg(cfg, k)
 		if err != nil {
 			return nil, err
 		}
@@ -289,21 +336,36 @@ func figIPC(id, kname string, o Options) (*Table, error) {
 }
 
 // Fig18 reproduces the read-intensive IPC time series (gemver).
-func Fig18(o Options) (*Table, error) { return figIPC("fig18", "gemver", o) }
+func Fig18(o Options) (*Table, error) { return NewEngine(o).Fig18() }
+
+// Fig18 generates Figure 18 through the engine's shared cache.
+func (e *Engine) Fig18() (*Table, error) { return e.figIPC("fig18", "gemver") }
 
 // Fig19 reproduces the write-intensive IPC time series (doitg).
-func Fig19(o Options) (*Table, error) { return figIPC("fig19", "doitg", o) }
+func Fig19(o Options) (*Table, error) { return NewEngine(o).Fig19() }
+
+// Fig19 generates Figure 19 through the engine's shared cache.
+func (e *Engine) Fig19() (*Table, error) { return e.figIPC("fig19", "doitg") }
+
+// powerConfig is the capture configuration of the Figure 20/21 series:
+// the paper captures the first 16 KB of processing.
+func (e *Engine) powerConfig(kind system.Kind) system.Config {
+	cfg := e.o.config(kind)
+	cfg.Scale = 16 << 10
+	cfg.SampleInterval = 10 * sim.Microsecond
+	return cfg
+}
 
 // figPower builds the power / cumulative-energy capture for one workload
 // over a small (16 KiB-class) footprint, as in Figures 20/21.
-func figPower(id, kname string, o Options) (*Table, error) {
+func (e *Engine) figPower(id, kname string) (*Table, error) {
 	t := &Table{ID: id, Title: "core power and total energy, " + kname + " (16KB-class capture)"}
 	k := workload.MustByName(kname)
 	for _, kind := range timeSeriesKinds() {
-		cfg := o.config(kind)
-		cfg.Scale = 16 << 10 // the paper captures the first 16 KB of processing
-		cfg.SampleInterval = 10 * sim.Microsecond
-		res, err := system.Run(cfg, k)
+		e.prefetchCfg(e.powerConfig(kind), k)
+	}
+	for _, kind := range timeSeriesKinds() {
+		res, err := e.getCfg(e.powerConfig(kind), k)
 		if err != nil {
 			return nil, err
 		}
@@ -321,10 +383,16 @@ func figPower(id, kname string, o Options) (*Table, error) {
 }
 
 // Fig20 reproduces the read-intensive power/energy capture (gemver).
-func Fig20(o Options) (*Table, error) { return figPower("fig20", "gemver", o) }
+func Fig20(o Options) (*Table, error) { return NewEngine(o).Fig20() }
+
+// Fig20 generates Figure 20 through the engine's shared cache.
+func (e *Engine) Fig20() (*Table, error) { return e.figPower("fig20", "gemver") }
 
 // Fig21 reproduces the write-intensive power/energy capture (doitg).
-func Fig21(o Options) (*Table, error) { return figPower("fig21", "doitg", o) }
+func Fig21(o Options) (*Table, error) { return NewEngine(o).Fig21() }
+
+// Fig21 generates Figure 21 through the engine's shared cache.
+func (e *Engine) Fig21() (*Table, error) { return e.figPower("fig21", "doitg") }
 
 func max(a, b int) int {
 	if a > b {

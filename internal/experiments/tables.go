@@ -180,30 +180,62 @@ func Sec5SelErase(Options) (*Table, error) {
 	return t, nil
 }
 
+// optionsOnly adapts a generator that runs no full-system simulations
+// (device-level measurements and static tables) to the engine registry.
+func optionsOnly(gen func(Options) (*Table, error)) func(*Engine) (*Table, error) {
+	return func(e *Engine) (*Table, error) { return gen(e.o) }
+}
+
+// Experiment pairs an experiment id with its generator over a shared
+// engine.
+type Experiment struct {
+	ID  string
+	Gen func(*Engine) (*Table, error)
+}
+
+// Registry returns every experiment in paper order. Generators that run
+// full-system simulations share the engine's result cache and worker
+// pool; the rest (device-level measurements, static tables) only read
+// the engine's options.
+func Registry() []Experiment {
+	return []Experiment{
+		{"fig01", (*Engine).Fig01},
+		{"fig07", (*Engine).Fig07},
+		{"fig12", optionsOnly(Fig12)},
+		{"fig13", (*Engine).Fig13},
+		{"fig15", (*Engine).Fig15},
+		{"fig16", (*Engine).Fig16},
+		{"fig17", (*Engine).Fig17},
+		{"fig18", (*Engine).Fig18},
+		{"fig19", (*Engine).Fig19},
+		{"fig20", (*Engine).Fig20},
+		{"fig21", (*Engine).Fig21},
+		{"table1", optionsOnly(Table1)},
+		{"table2", optionsOnly(Table2)},
+		{"table3", optionsOnly(Table3)},
+		{"sec5-interleave", optionsOnly(Sec5Interleave)},
+		{"sec5-selerase", optionsOnly(Sec5SelErase)},
+	}
+}
+
 // All returns every experiment generator keyed by id, in paper order.
+// Each Gen call builds a private engine; share one engine (NewEngine +
+// Table/Tables) to reuse simulations across experiments.
 func All() []struct {
 	ID  string
 	Gen func(Options) (*Table, error)
 } {
-	return []struct {
+	reg := Registry()
+	out := make([]struct {
 		ID  string
 		Gen func(Options) (*Table, error)
-	}{
-		{"fig01", Fig01},
-		{"fig07", Fig07},
-		{"fig12", Fig12},
-		{"fig13", Fig13},
-		{"fig15", Fig15},
-		{"fig16", Fig16},
-		{"fig17", Fig17},
-		{"fig18", Fig18},
-		{"fig19", Fig19},
-		{"fig20", Fig20},
-		{"fig21", Fig21},
-		{"table1", Table1},
-		{"table2", Table2},
-		{"table3", Table3},
-		{"sec5-interleave", Sec5Interleave},
-		{"sec5-selerase", Sec5SelErase},
+	}, 0, len(reg))
+	for _, x := range reg {
+		gen := x.Gen
+		out = append(out, struct {
+			ID  string
+			Gen func(Options) (*Table, error)
+		}{x.ID, func(o Options) (*Table, error) { return gen(NewEngine(o)) }})
 	}
+	return out
 }

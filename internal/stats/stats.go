@@ -211,11 +211,14 @@ func (b *Breakdown) Get(key string) float64 { return b.vals[key] }
 // Keys returns the component names in insertion order.
 func (b *Breakdown) Keys() []string { return append([]string(nil), b.keys...) }
 
-// Total returns the sum over all components.
+// Total returns the sum over all components. Summation follows
+// insertion order, not map order: float addition is not associative, so
+// iterating the map would make the low bits of the total vary from run
+// to run and break the simulator's determinism guarantee.
 func (b *Breakdown) Total() float64 {
 	var t float64
-	for _, v := range b.vals {
-		t += v
+	for _, k := range b.keys {
+		t += b.vals[k]
 	}
 	return t
 }
