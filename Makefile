@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench verify
+.PHONY: build test race bench bench-json profile vet fmt-check verify
 
 build:
 	$(GO) build ./...
@@ -22,4 +22,26 @@ race:
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...
 
-verify: test race
+# Benchmark trajectory: one pass over every figure/table benchmark,
+# recorded as BENCH_suite.json (ns/op + B/op + allocs/op per benchmark).
+# Commit the file so perf changes stay visible PR over PR.
+bench-json:
+	$(GO) test -run '^$$' -bench '^(BenchmarkAllExperiments|BenchmarkFig|BenchmarkTable|BenchmarkSec5)' \
+		-benchmem -benchtime 1x . | $(GO) run ./tools/benchjson -out BENCH_suite.json
+
+# CPU + heap profiles of the Figure 15 sweep (the allocation-heaviest
+# experiment) into ./prof/; inspect with `go tool pprof prof/fig15.cpu`.
+profile:
+	mkdir -p prof
+	$(GO) run ./cmd/dramless experiments \
+		-cpuprofile prof/fig15.cpu -memprofile prof/fig15.mem fig15 > /dev/null
+	@echo "profiles: prof/fig15.cpu prof/fig15.mem"
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@files=$$(gofmt -l .); if [ -n "$$files" ]; then \
+		echo "gofmt needed on:"; echo "$$files"; exit 1; fi
+
+verify: test race vet fmt-check

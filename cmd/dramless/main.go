@@ -15,11 +15,53 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"dramless"
 )
+
+// profileFlags registers -cpuprofile/-memprofile on fs. Call the returned
+// start function after fs.Parse; it begins CPU profiling and returns the
+// stop function that finishes the CPU profile and writes the heap profile
+// (run it before exiting, including error exits).
+func profileFlags(fs *flag.FlagSet) (start func() func()) {
+	cpu := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memp := fs.String("memprofile", "", "write a heap profile to this file on exit")
+	return func() func() {
+		if *cpu != "" {
+			f, err := os.Create(*cpu)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if err := pprof.StartCPUProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		return func() {
+			if *cpu != "" {
+				pprof.StopCPUProfile()
+			}
+			if *memp != "" {
+				f, err := os.Create(*memp)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				runtime.GC() // materialize the final live set
+				if err := pprof.WriteHeapProfile(f); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				f.Close()
+			}
+		}
+	}
+}
 
 func main() {
 	if len(os.Args) < 2 {
@@ -54,6 +96,9 @@ commands:
         1 = serial) - output is byte-identical at any setting
   run   -system <name> -kernel <name> [-scale bytes]
         one end-to-end system simulation with full breakdowns
+
+  experiments and run both take -cpuprofile / -memprofile <file> to
+  capture pprof profiles of the simulation (see DESIGN.md §8).
   trace [-addr N] [-n bytes] [-write] [-scheduler name]
         dump the LPDDR2-NVM command stream one access produces
   list  show experiment ids, system names and workloads`)
@@ -81,7 +126,10 @@ func cmdExperiments(args []string) {
 	scale := fs.Int64("scale", 0, "override footprint scale in bytes")
 	kernels := fs.String("kernels", "", "comma-separated kernel subset")
 	parallel := fs.Int("parallel", 0, "simulation worker pool size (0 = GOMAXPROCS, 1 = serial)")
+	startProf := profileFlags(fs)
 	fs.Parse(args)
+	stopProf := startProf()
+	defer stopProf()
 
 	o := dramless.FastExperiments()
 	if *full {
@@ -109,6 +157,7 @@ func cmdExperiments(args []string) {
 		tab, err := eng.Table(id)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			stopProf()
 			os.Exit(1)
 		}
 		if *asJSON {
@@ -191,7 +240,10 @@ func cmdRun(args []string) {
 	sysName := fs.String("system", "DRAM-less", "system organization (see list)")
 	kernelName := fs.String("kernel", "gemver", "workload (see list)")
 	scale := fs.Int64("scale", 256<<10, "footprint scale in bytes")
+	startProf := profileFlags(fs)
 	fs.Parse(args)
+	stopProf := startProf()
+	defer stopProf()
 
 	var kind dramless.SystemKind
 	found := false

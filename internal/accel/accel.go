@@ -149,67 +149,89 @@ type mcuPath struct {
 
 	// Stream buffer: the server aggregates sequential misses into
 	// mcuFetchBytes backend reads ("512 bytes per channel ... and tries
-	// to prefetch data by using all RDBs across different banks").
+	// to prefetch data by using all RDBs across different banks"). buf is
+	// allocated once per agent and reused across fetches; bufLen is the
+	// number of valid bytes (0 = empty).
 	bufAddr  uint64
 	buf      []byte
+	bufLen   int
 	bufReady sim.Time
 	bufGen   int64
 	prevEnd  uint64 // end of the previous miss, for the sequential detector
 }
 
-var _ mem.Device = (*mcuPath)(nil)
+var (
+	_ mem.Device     = (*mcuPath)(nil)
+	_ mem.ReaderInto = (*mcuPath)(nil)
+)
 
 func (m *mcuPath) Size() uint64 { return m.a.backend.Size() }
 
 func (m *mcuPath) Read(at sim.Time, addr uint64, n int) ([]byte, sim.Time, error) {
+	out := make([]byte, n)
+	done, err := m.ReadInto(at, addr, out)
+	if err != nil {
+		return nil, 0, err
+	}
+	return out, done, nil
+}
+
+// ReadInto implements mem.ReaderInto; with a ReaderInto backend the whole
+// miss path runs without allocating.
+func (m *mcuPath) ReadInto(at sim.Time, addr uint64, dst []byte) (sim.Time, error) {
+	n := len(dst)
 	// Stream-buffer hit: the aggregated block already holds the line.
-	if m.buf != nil && m.bufGen == m.a.writeGen &&
-		addr >= m.bufAddr && addr+uint64(n) <= m.bufAddr+uint64(len(m.buf)) {
+	if m.bufLen > 0 && m.bufGen == m.a.writeGen &&
+		addr >= m.bufAddr && addr+uint64(n) <= m.bufAddr+uint64(m.bufLen) {
 		t := sim.Max(at, m.bufReady)
 		t, err := m.a.xbar.Transfer(t, serverPort, m.port, int64(n))
 		if err != nil {
-			return nil, 0, err
+			return 0, err
 		}
-		out := make([]byte, n)
-		copy(out, m.buf[addr-m.bufAddr:])
-		return out, t, nil
+		copy(dst, m.buf[addr-m.bufAddr:])
+		return t, nil
 	}
 
 	// Request message agent -> server, MCU handling, backend access,
 	// data server -> agent.
 	t, err := m.a.xbar.Transfer(at, m.port, serverPort, 32)
 	if err != nil {
-		return nil, 0, err
+		return 0, err
 	}
 	t = m.a.mcu.AcquireUntil(t, m.a.cfg.MCULatency)
 
 	sequential := addr == m.prevEnd
 	m.prevEnd = addr + uint64(n)
-	fetch := n
-	base := addr
-	if sequential {
-		// Aggregate: fetch the aligned block and keep it for the next
-		// misses of this agent's stream.
-		base = addr / mcuFetchBytes * mcuFetchBytes
-		fetch = mcuFetchBytes
-		if base+uint64(fetch) > m.a.backend.Size() {
-			fetch = int(m.a.backend.Size() - base)
+	if !sequential {
+		// Isolated miss: fetch exactly the request, straight into dst.
+		if t, err = mem.ReadIntoOf(m.a.backend, t, addr, dst); err != nil {
+			return 0, err
 		}
+		return m.a.xbar.Transfer(t, serverPort, m.port, int64(n))
 	}
-	data, t, err := m.a.backend.Read(t, base, fetch)
-	if err != nil {
-		return nil, 0, err
+
+	// Aggregate: fetch the aligned block and keep it for the next misses
+	// of this agent's stream.
+	base := addr / mcuFetchBytes * mcuFetchBytes
+	fetch := mcuFetchBytes
+	if base+uint64(fetch) > m.a.backend.Size() {
+		fetch = int(m.a.backend.Size() - base)
 	}
-	if sequential {
-		m.bufAddr, m.buf, m.bufReady, m.bufGen = base, data, t, m.a.writeGen
+	if cap(m.buf) < fetch {
+		m.buf = make([]byte, mcuFetchBytes)
 	}
+	buf := m.buf[:fetch]
+	m.bufLen = 0 // empty while the fetch is in flight
+	if t, err = mem.ReadIntoOf(m.a.backend, t, base, buf); err != nil {
+		return 0, err
+	}
+	m.bufAddr, m.bufLen, m.bufReady, m.bufGen = base, fetch, t, m.a.writeGen
 	t, err = m.a.xbar.Transfer(t, serverPort, m.port, int64(n))
 	if err != nil {
-		return nil, 0, err
+		return 0, err
 	}
-	out := make([]byte, n)
-	copy(out, data[addr-base:int(addr-base)+n])
-	return out, t, nil
+	copy(dst, buf[addr-base:int(addr-base)+n])
+	return t, nil
 }
 
 func (m *mcuPath) Write(at sim.Time, addr uint64, data []byte) (sim.Time, error) {
@@ -267,9 +289,13 @@ func (r *Report) TotalIPC(clockHz float64) float64 {
 func runAll(pes []*pe.PE) error {
 	eng := sim.NewEngine()
 	var failure error
-	var stepper func(core *pe.PE) func(sim.Time)
-	stepper = func(core *pe.PE) func(sim.Time) {
-		return func(sim.Time) {
+	for _, c := range pes {
+		// One persistent closure per core, rescheduled for every step; the
+		// old per-step closure was a dominant allocation source (one
+		// closure per simulated instruction across the whole suite).
+		core := c
+		var step func(sim.Time)
+		step = func(sim.Time) {
 			if failure != nil {
 				return
 			}
@@ -279,12 +305,10 @@ func runAll(pes []*pe.PE) error {
 				return
 			}
 			if ok {
-				eng.Schedule(core.Now(), stepper(core))
+				eng.Schedule(core.Now(), step)
 			}
 		}
-	}
-	for _, c := range pes {
-		eng.Schedule(c.Now(), stepper(c))
+		eng.Schedule(core.Now(), step)
 	}
 	eng.Run()
 	return failure

@@ -80,16 +80,25 @@ type line struct {
 // Cache is one set-associative write-back, write-allocate cache level in
 // front of a lower mem.Device.
 type Cache struct {
-	cfg   Config
-	lower mem.Device
-	sets  [][]line
-	tick  int64
-	stats Stats
+	cfg     Config
+	errName string // "cache <name>", precomputed so range checks don't allocate
+	lower   mem.Device
+	sets    [][]line
+	slab    []byte // one backing array for every line's data
+	tick    int64
+	stats   Stats
 }
 
-var _ mem.Device = (*Cache)(nil)
+var (
+	_ mem.Device     = (*Cache)(nil)
+	_ mem.ReaderInto = (*Cache)(nil)
+)
 
-// New builds a cache over lower.
+// New builds a cache over lower. All line storage comes from one slab
+// allocation (3 allocations per cache instead of sets*ways+2): the
+// experiment engine rebuilds every PE's L1/L2 for each system x kernel
+// cell, which made per-way line buffers the single largest allocation
+// source of the suite.
 func New(cfg Config, lower mem.Device) (*Cache, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -98,11 +107,19 @@ func New(cfg Config, lower mem.Device) (*Cache, error) {
 		return nil, fmt.Errorf("cache %s: nil lower level", cfg.Name)
 	}
 	nsets := cfg.SizeBytes / (cfg.LineBytes * cfg.Ways)
-	c := &Cache{cfg: cfg, lower: lower, sets: make([][]line, nsets)}
+	c := &Cache{
+		cfg:     cfg,
+		errName: "cache " + cfg.Name,
+		lower:   lower,
+		sets:    make([][]line, nsets),
+		slab:    make([]byte, cfg.SizeBytes),
+	}
+	lines := make([]line, nsets*cfg.Ways)
 	for i := range c.sets {
-		ways := make([]line, cfg.Ways)
+		ways := lines[i*cfg.Ways : (i+1)*cfg.Ways : (i+1)*cfg.Ways]
 		for w := range ways {
-			ways[w].data = make([]byte, cfg.LineBytes)
+			base := (i*cfg.Ways + w) * cfg.LineBytes
+			ways[w].data = c.slab[base : base+cfg.LineBytes : base+cfg.LineBytes]
 		}
 		c.sets[i] = ways
 	}
@@ -187,22 +204,39 @@ func (c *Cache) fill(at sim.Time, set int, tag uint64) (int, sim.Time, error) {
 		}
 	}
 	base := c.lineBase(set, tag)
-	data, done, err := c.lower.Read(t, base, c.cfg.LineBytes)
+	// Fetch straight into the line's slab storage; invalidate first so an
+	// error below cannot leave a half-filled line looking resident.
+	ln.valid, ln.dirty = false, false
+	done, err := mem.ReadIntoOf(c.lower, t, base, ln.data)
 	if err != nil {
 		return 0, 0, fmt.Errorf("cache %s: fill: %w", c.cfg.Name, err)
 	}
 	c.stats.BytesBelow += int64(c.cfg.LineBytes)
-	copy(ln.data, data)
 	ln.valid, ln.dirty, ln.tag = true, false, tag
 	return w, done, nil
 }
 
 // Read implements mem.Device.
 func (c *Cache) Read(at sim.Time, addr uint64, n int) ([]byte, sim.Time, error) {
-	if err := mem.CheckRange("cache "+c.cfg.Name, c.Size(), addr, n); err != nil {
-		return nil, 0, err
+	if n <= 0 {
+		return nil, 0, mem.CheckRange(c.errName, c.Size(), addr, n)
 	}
 	out := make([]byte, n)
+	done, err := c.ReadInto(at, addr, out)
+	if err != nil {
+		return nil, 0, err
+	}
+	return out, done, nil
+}
+
+// ReadInto implements mem.ReaderInto. On resident lines it is the
+// steady-state PE load path and performs zero allocations (pinned by
+// TestCacheHitReadIntoAllocationFree in internal/mem).
+func (c *Cache) ReadInto(at sim.Time, addr uint64, dst []byte) (sim.Time, error) {
+	n := len(dst)
+	if err := mem.CheckRange(c.errName, c.Size(), addr, n); err != nil {
+		return 0, err
+	}
 	done := at
 	for off := 0; off < n; {
 		set, tag, lo := c.index(addr + uint64(off))
@@ -212,20 +246,20 @@ func (c *Cache) Read(at sim.Time, addr uint64, n int) ([]byte, sim.Time, error) 
 		}
 		w, d, err := c.fill(at, set, tag)
 		if err != nil {
-			return nil, 0, err
+			return 0, err
 		}
 		c.tick++
 		c.sets[set][w].lastUse = c.tick
-		copy(out[off:], c.sets[set][w].data[lo:lo+take])
+		copy(dst[off:], c.sets[set][w].data[lo:lo+take])
 		done = sim.Max(done, d)
 		off += take
 	}
-	return out, done, nil
+	return done, nil
 }
 
 // Write implements mem.Device (write-allocate, write-back).
 func (c *Cache) Write(at sim.Time, addr uint64, data []byte) (sim.Time, error) {
-	if err := mem.CheckRange("cache "+c.cfg.Name, c.Size(), addr, len(data)); err != nil {
+	if err := mem.CheckRange(c.errName, c.Size(), addr, len(data)); err != nil {
 		return 0, err
 	}
 	done := at

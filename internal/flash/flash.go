@@ -135,7 +135,16 @@ type Array struct {
 	chan_ *sim.Pipe
 	store map[uint64][]byte
 	stats Stats
+
+	// Page frames come framePages at a time from one slab and are
+	// recycled when EraseBlock drops them, so first-touch programs and
+	// GC churn do not allocate one page each.
+	frames    []byte
+	freePages [][]byte
 }
+
+// framePages is how many page frames each slab allocation carries.
+const framePages = 64
 
 // NewArray builds an array holding totalPages physical pages.
 func NewArray(prof Profile, totalPages uint64) (*Array, error) {
@@ -168,6 +177,27 @@ func (a *Array) Stats() Stats { return a.stats }
 
 func (a *Array) die(page uint64) *sim.Resource { return a.dies[page%uint64(a.prof.Dies)] }
 
+// newFrame returns a zeroed page frame (recycled or carved from the
+// slab). Frames must read as zero: ProgramPage may copy fewer than
+// PageBytes into one, and unwritten tails are architecturally erased.
+func (a *Array) newFrame() []byte {
+	if n := len(a.freePages); n > 0 {
+		f := a.freePages[n-1]
+		a.freePages = a.freePages[:n-1]
+		for i := range f {
+			f[i] = 0
+		}
+		return f
+	}
+	pb := a.prof.PageBytes
+	if len(a.frames) < pb {
+		a.frames = make([]byte, framePages*pb)
+	}
+	f := a.frames[:pb:pb]
+	a.frames = a.frames[pb:]
+	return f
+}
+
 func (a *Array) check(page uint64) error {
 	if page >= a.pages {
 		return fmt.Errorf("flash %s: page %d outside array (%d pages)", a.prof.Name, page, a.pages)
@@ -177,18 +207,35 @@ func (a *Array) check(page uint64) error {
 
 // ReadPage senses one physical page and moves it over the channel.
 func (a *Array) ReadPage(at sim.Time, page uint64) (data []byte, done sim.Time, err error) {
-	if err := a.check(page); err != nil {
+	data = make([]byte, a.prof.PageBytes)
+	done, err = a.ReadPageInto(at, page, data)
+	if err != nil {
 		return nil, 0, err
+	}
+	return data, done, nil
+}
+
+// ReadPageInto is ReadPage into a caller-provided whole-page buffer
+// (never-programmed pages read as zero, so dst may hold stale bytes).
+func (a *Array) ReadPageInto(at sim.Time, page uint64, dst []byte) (done sim.Time, err error) {
+	if err := a.check(page); err != nil {
+		return 0, err
+	}
+	if len(dst) != a.prof.PageBytes {
+		return 0, fmt.Errorf("flash %s: %d-byte buffer for a %d-byte page", a.prof.Name, len(dst), a.prof.PageBytes)
 	}
 	senseEnd := a.die(page).AcquireUntil(at, a.prof.PageRead())
 	done = a.chan_.Transfer(senseEnd, int64(a.prof.PageBytes))
-	data = make([]byte, a.prof.PageBytes)
 	if p, ok := a.store[page]; ok {
-		copy(data, p)
+		copy(dst, p)
+	} else {
+		for i := range dst {
+			dst[i] = 0
+		}
 	}
 	a.stats.PageReads++
 	a.stats.BytesMoved += int64(a.prof.PageBytes)
-	return data, done, nil
+	return done, nil
 }
 
 // ProgramPage writes one physical page; the channel transfer precedes the
@@ -205,7 +252,7 @@ func (a *Array) ProgramPage(at sim.Time, page uint64, data []byte) (done sim.Tim
 	done = a.die(page).AcquireUntil(xferDone, a.prof.PageProgram())
 	p, ok := a.store[page]
 	if !ok {
-		p = make([]byte, a.prof.PageBytes)
+		p = a.newFrame()
 		a.store[page] = p
 	}
 	copy(p, data)
@@ -223,7 +270,10 @@ func (a *Array) EraseBlock(at sim.Time, page uint64) (done sim.Time, err error) 
 	base := page - page%uint64(a.prof.PagesPerBlock)
 	done = a.die(page).AcquireUntil(at, a.prof.EraseBlock)
 	for p := base; p < base+uint64(a.prof.PagesPerBlock) && p < a.pages; p++ {
-		delete(a.store, p)
+		if f, ok := a.store[p]; ok {
+			a.freePages = append(a.freePages, f)
+			delete(a.store, p)
+		}
 	}
 	a.stats.BlockErases++
 	return done, nil

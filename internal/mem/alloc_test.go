@@ -1,0 +1,63 @@
+package mem_test
+
+// Steady-state allocation regression tests (ISSUE 2 acceptance
+// criteria): the cache-hit read path must allocate nothing, and the
+// Flat-memory path at most one buffer per Read (zero via ReadInto).
+// These pins keep the zero-allocation datapath from regressing silently.
+
+import (
+	"testing"
+
+	"dramless/internal/cache"
+	"dramless/internal/mem"
+	"dramless/internal/sim"
+)
+
+func TestCacheHitReadIntoAllocationFree(t *testing.T) {
+	flat := mem.NewFlat("lower", 1<<20, 100*sim.Nanosecond, 12.8e9)
+	c := cache.MustNew(cache.L1Data(), flat)
+	payload := make([]byte, 256)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	if _, err := c.Write(0, 4096, payload); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]byte, 64)
+	// Warm: the first read fills the line from below.
+	if _, err := c.ReadInto(sim.Microsecond, 4096, dst); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := c.ReadInto(sim.Microsecond, 4096, dst); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("cache-hit ReadInto allocates %.1f objects per call, want 0", allocs)
+	}
+}
+
+func TestFlatReadAllocationBound(t *testing.T) {
+	flat := mem.NewFlat("flat", 1<<20, 100*sim.Nanosecond, 12.8e9)
+	if _, err := flat.Write(0, 0, make([]byte, 4096)); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]byte, 64)
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := flat.ReadInto(0, 512, dst); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Flat.ReadInto allocates %.1f objects per call, want 0", allocs)
+	}
+	allocs = testing.AllocsPerRun(200, func() {
+		if _, _, err := flat.Read(0, 512, 64); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 1 {
+		t.Fatalf("Flat.Read allocates %.1f objects per call, want <= 1", allocs)
+	}
+}

@@ -25,6 +25,37 @@ type Device interface {
 	Size() uint64
 }
 
+// ReaderInto is the allocation-free read path: devices that implement it
+// fetch len(dst) bytes at addr directly into a caller-provided buffer.
+// The contract (DESIGN.md §8):
+//
+//   - dst is owned by the caller; the device must not retain it past the
+//     call and must fill exactly len(dst) bytes on success;
+//   - dst must not alias device-internal storage (cache lines, stream
+//     buffers, page frames) — implementations copy out of their own
+//     state into dst;
+//   - timing is identical to Read: ReadInto(at, addr, make([]byte, n))
+//     and Read(at, addr, n) complete at the same simulated time and move
+//     the device's timing state identically.
+type ReaderInto interface {
+	ReadInto(at sim.Time, addr uint64, dst []byte) (done sim.Time, err error)
+}
+
+// ReadIntoOf reads len(dst) bytes at addr into dst, using d's ReadInto
+// fast path when implemented and falling back to Read plus a copy. It is
+// the call sites' one-liner for the zero-allocation datapath.
+func ReadIntoOf(d Device, at sim.Time, addr uint64, dst []byte) (sim.Time, error) {
+	if ri, ok := d.(ReaderInto); ok {
+		return ri.ReadInto(at, addr, dst)
+	}
+	data, done, err := d.Read(at, addr, len(dst))
+	if err != nil {
+		return 0, err
+	}
+	copy(dst, data)
+	return done, nil
+}
+
 // Drainer is implemented by devices with posted work (PRAM programs,
 // flash programs, firmware queues); Drain returns when everything
 // in flight has retired.
@@ -46,8 +77,10 @@ func CheckRange(what string, size, addr uint64, n int) error {
 	if n <= 0 {
 		return fmt.Errorf("%s: non-positive access size %d", what, n)
 	}
-	if addr+uint64(n) > size {
-		return fmt.Errorf("%s: access [%#x,%#x) outside %#x bytes", what, addr, addr+uint64(n), size)
+	// Guard against addr+n wrapping around uint64 for addresses near the
+	// top of the space: compare against the remaining room instead.
+	if addr > size || uint64(n) > size-addr {
+		return fmt.Errorf("%s: access [%#x,+%#x) outside %#x bytes", what, addr, uint64(n), size)
 	}
 	return nil
 }
@@ -84,14 +117,31 @@ func (f *Flat) Size() uint64 { return f.size }
 
 // Read implements Device.
 func (f *Flat) Read(at sim.Time, addr uint64, n int) ([]byte, sim.Time, error) {
-	if err := CheckRange(f.name, f.size, addr, n); err != nil {
+	if n <= 0 {
+		return nil, 0, CheckRange(f.name, f.size, addr, n)
+	}
+	out := make([]byte, n)
+	done, err := f.ReadInto(at, addr, out)
+	if err != nil {
 		return nil, 0, err
 	}
-	done := f.bus.Transfer(at+f.latency, int64(n))
-	f.reads++
-	f.bytesOut += int64(n)
-	return f.store.Read(addr, n), done, nil
+	return out, done, nil
 }
+
+// ReadInto implements ReaderInto: the timed read without the fresh
+// buffer.
+func (f *Flat) ReadInto(at sim.Time, addr uint64, dst []byte) (sim.Time, error) {
+	if err := CheckRange(f.name, f.size, addr, len(dst)); err != nil {
+		return 0, err
+	}
+	done := f.bus.Transfer(at+f.latency, int64(len(dst)))
+	f.reads++
+	f.bytesOut += int64(len(dst))
+	f.store.ReadInto(addr, dst)
+	return done, nil
+}
+
+var _ ReaderInto = (*Flat)(nil)
 
 // Write implements Device.
 func (f *Flat) Write(at sim.Time, addr uint64, data []byte) (sim.Time, error) {
@@ -124,6 +174,14 @@ func NewSparse() *Sparse { return &Sparse{pages: map[uint64][]byte{}} }
 // Read returns n bytes at addr (zeroes where never written).
 func (s *Sparse) Read(addr uint64, n int) []byte {
 	out := make([]byte, n)
+	s.ReadInto(addr, out)
+	return out
+}
+
+// ReadInto fills dst with the bytes at addr (zeroes where never
+// written) without allocating.
+func (s *Sparse) ReadInto(addr uint64, dst []byte) {
+	n := len(dst)
 	for off := 0; off < n; {
 		pg := (addr + uint64(off)) / sparsePage
 		po := int((addr + uint64(off)) % sparsePage)
@@ -132,11 +190,20 @@ func (s *Sparse) Read(addr uint64, n int) []byte {
 			take = n - off
 		}
 		if p, ok := s.pages[pg]; ok {
-			copy(out[off:off+take], p[po:])
+			copy(dst[off:off+take], p[po:])
+		} else {
+			zeroFill(dst[off : off+take])
 		}
 		off += take
 	}
-	return out
+}
+
+// zeroFill clears b (dst may be a reused scratch buffer holding stale
+// bytes, unlike the fresh buffers Read hands out).
+func zeroFill(b []byte) {
+	for i := range b {
+		b[i] = 0
+	}
 }
 
 // Write stores data at addr.

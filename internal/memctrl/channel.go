@@ -32,6 +32,14 @@ type channel struct {
 	// subsystem for selective erasing).
 	intent func(mod int, rowAddr uint64) (declaredAt sim.Time, ok bool)
 
+	// zeroRow is the all-zero row image every selective-erase pre-RESET
+	// programs; rmwRow is the scratch row the read-modify-write path
+	// merges into. Both are safe to reuse: ProgramRow copies bytes into
+	// the overlay window store and never retains its argument.
+	zeroRow []byte
+	rmwRow  []byte
+	execBuf [1]byte // the 1-byte RegExec touch, hoisted off writeWave
+
 	stats Stats
 }
 
@@ -42,7 +50,10 @@ func newChannel(idx int, cfg Config) (*channel, error) {
 		dataBus:     sim.NewResource(fmt.Sprintf("ch%d.dq", idx)),
 		nextBA:      make([]uint8, cfg.Params.Packages),
 		modLastDone: make([]sim.Time, cfg.Params.Packages),
+		zeroRow:     make([]byte, cfg.Geometry.RowBytes),
+		rmwRow:      make([]byte, cfg.Geometry.RowBytes),
 	}
+	ch.execBuf[0] = 1
 	for p := 0; p < cfg.Params.Packages; p++ {
 		m, err := pram.NewModule(cfg.Geometry, cfg.Params)
 		if err != nil {
@@ -130,13 +141,15 @@ func (ch *channel) bindRow(at sim.Time, mod int, rowAddr uint64) (ba uint8, done
 	return ba, done, err
 }
 
-// rowReq is one row-granule read within a batch.
+// rowReq is one row-granule read within a batch. dst is the
+// caller-provided destination the burst lands in (usually a subslice of
+// the subsystem-level output buffer), so a batch completes with the
+// bytes already in place and no copy-back stage.
 type rowReq struct {
 	mod  int
 	row  uint64
 	col  int
-	n    int
-	data []byte
+	dst  []byte
 	done sim.Time
 
 	ba       uint8
@@ -145,14 +158,14 @@ type rowReq struct {
 	needAct  bool
 }
 
-// readRow reads n bytes at column col of module-local row rowAddr on
-// module mod, starting no earlier than at.
-func (ch *channel) readRow(at sim.Time, mod int, rowAddr uint64, col, n int) (data []byte, done sim.Time, err error) {
-	reqs := []rowReq{{mod: mod, row: rowAddr, col: col, n: n}}
-	if err := ch.readBatch(at, reqs); err != nil {
-		return nil, 0, err
+// readRowInto reads len(dst) bytes at column col of module-local row
+// rowAddr on module mod into dst, starting no earlier than at.
+func (ch *channel) readRowInto(at sim.Time, mod int, rowAddr uint64, col int, dst []byte) (done sim.Time, err error) {
+	reqs := [1]rowReq{{mod: mod, row: rowAddr, col: col, dst: dst}}
+	if err := ch.readBatch(at, reqs[:]); err != nil {
+		return 0, err
 	}
-	return reqs[0].data, reqs[0].done, nil
+	return reqs[0].done, nil
 }
 
 // readBatch processes a set of row reads. With an interleaving scheduler
@@ -207,12 +220,12 @@ func (ch *channel) readOne(r *rowReq, at sim.Time) error {
 		return err
 	}
 	devAt := ch.issue(rowReady)
-	r.data, r.done, err = m.ReadBurst(devAt, ba, r.col, r.n)
+	r.done, err = m.ReadBurstInto(devAt, ba, r.col, r.dst)
 	if err != nil {
 		return err
 	}
 	ch.stats.Reads++
-	ch.stats.BytesRead += int64(r.n)
+	ch.stats.BytesRead += int64(len(r.dst))
 	if ch.cfg.Prefetch && ch.cfg.Scheduler.Interleaving() {
 		ch.prefetch(rowReady, r.mod, r.row+1)
 	}
@@ -274,13 +287,13 @@ func (ch *channel) readWave(at sim.Time, wave []*rowReq) error {
 	// waves' sensing proceeds underneath.
 	for _, r := range wave {
 		devAt := ch.issue(r.rowReady)
-		data, done, err := ch.modules[r.mod].ReadBurst(devAt, r.ba, r.col, r.n)
+		done, err := ch.modules[r.mod].ReadBurstInto(devAt, r.ba, r.col, r.dst)
 		if err != nil {
 			return err
 		}
-		r.data, r.done = data, done
+		r.done = done
 		ch.stats.Reads++
-		ch.stats.BytesRead += int64(r.n)
+		ch.stats.BytesRead += int64(len(r.dst))
 	}
 	// Background: sequential next-row prefetch into spare RDBs.
 	if ch.cfg.Prefetch {
@@ -333,14 +346,14 @@ func (ch *channel) writeRow(at sim.Time, mod int, rowAddr uint64, col int, data 
 	full := data
 	fullRow := col == 0 && len(data) == rb
 	if !fullRow {
-		// Read-modify-write: fetch the row through the regular protocol,
-		// merge, program whole.
-		cur, readDone, err := ch.readRow(at, mod, rowAddr, 0, rb)
+		// Read-modify-write: fetch the row through the regular protocol
+		// into the channel's scratch row, merge, program whole.
+		readDone, err := ch.readRowInto(at, mod, rowAddr, 0, ch.rmwRow)
 		if err != nil {
 			return 0, err
 		}
-		copy(cur[col:], data)
-		full = cur
+		copy(ch.rmwRow[col:], data)
+		full = ch.rmwRow
 		at = readDone
 	}
 
@@ -445,7 +458,7 @@ func (ch *channel) writeWave(at sim.Time, wave []*writeReq) error {
 	}
 	// Step 3: execute per module; the array program is posted.
 	for _, r := range wave {
-		d, err := ch.modules[r.mod].WindowWrite(ch.issue(r.t), ba, pram.RegExec, []byte{1})
+		d, err := ch.modules[r.mod].WindowWrite(ch.issue(r.t), ba, pram.RegExec, ch.execBuf[:])
 		if err != nil {
 			return err
 		}
@@ -497,8 +510,7 @@ func (ch *channel) maybePreErase(at sim.Time, mod int, rowAddr uint64) {
 func (ch *channel) preEraseRow(at sim.Time, mod int, rowAddr uint64) (done sim.Time, err error) {
 	m := ch.modules[mod]
 	at = sim.Max(ch.gate(at, mod), m.ProgBufFreeAt())
-	zero := make([]byte, ch.cfg.Geometry.RowBytes)
-	done, err = m.ProgramRow(at, ch.windowBA(), rowAddr, zero)
+	done, err = m.ProgramRow(at, ch.windowBA(), rowAddr, ch.zeroRow)
 	if err != nil {
 		return 0, err
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dramless/internal/lpddr"
+	"dramless/internal/mem"
 	"dramless/internal/pram"
 	"dramless/internal/sim"
 )
@@ -31,7 +32,18 @@ type Subsystem struct {
 
 	// wear is the optional start-gap leveler (nil when disabled).
 	wear *wearState
+
+	// batches is the per-channel rowReq scratch ReadInto reuses across
+	// calls (the subsystem is single-threaded per simulation, like every
+	// timed component); wearRow is the gap-move copy buffer.
+	batches [][]rowReq
+	wearRow []byte
 }
+
+var (
+	_ mem.Device     = (*Subsystem)(nil)
+	_ mem.ReaderInto = (*Subsystem)(nil)
+)
 
 type intentRange struct {
 	lo, hi     uint64
@@ -86,6 +98,8 @@ func New(cfg Config) (*Subsystem, error) {
 	// window; expose only the array space below it.
 	usableRows := cfg.Geometry.RowsPerModule - pram.WindowSize/uint64(cfg.Geometry.RowBytes)
 	s.size = usableRows * s.rowBytes * s.pkgs * s.chans
+	s.batches = make([][]rowReq, cfg.Params.Channels)
+	s.wearRow = make([]byte, cfg.Geometry.RowBytes)
 	s.initWear()
 	return s, nil
 }
@@ -123,13 +137,15 @@ func (s *Subsystem) locate(addr uint64) location {
 	}
 }
 
-// checkRange validates [addr, addr+n).
+// checkRange validates [addr, addr+n). The comparison is against the
+// remaining room past addr so addr+n cannot wrap uint64 for addresses
+// near the top of the space.
 func (s *Subsystem) checkRange(addr uint64, n int) error {
 	if n <= 0 {
 		return fmt.Errorf("memctrl: non-positive access size %d", n)
 	}
-	if addr+uint64(n) > s.size {
-		return fmt.Errorf("memctrl: access [%#x,%#x) outside %#x-byte subsystem", addr, addr+uint64(n), s.size)
+	if addr > s.size || uint64(n) > s.size-addr {
+		return fmt.Errorf("memctrl: access [%#x,+%#x) outside %#x-byte subsystem", addr, uint64(n), s.size)
 	}
 	return nil
 }
@@ -180,28 +196,44 @@ func (s *Subsystem) Boot(at sim.Time) (done sim.Time, err error) {
 // split into row-granule operations that the per-channel scheduler
 // processes according to its policy.
 func (s *Subsystem) Read(at sim.Time, addr uint64, n int) (data []byte, done sim.Time, err error) {
-	if err := s.checkRange(addr, n); err != nil {
-		return nil, 0, err
+	if n <= 0 {
+		return nil, 0, s.checkRange(addr, n)
 	}
 	data = make([]byte, n)
+	done, err = s.ReadInto(at, addr, data)
+	if err != nil {
+		return nil, 0, err
+	}
+	return data, done, nil
+}
+
+// ReadInto implements mem.ReaderInto: Read straight into a caller-owned
+// buffer. Each row-granule request points at its subslice of dst, so the
+// channel bursts land in place and the whole call allocates nothing in
+// steady state (the per-channel batch scratch is reused across calls).
+func (s *Subsystem) ReadInto(at sim.Time, addr uint64, dst []byte) (done sim.Time, err error) {
+	n := len(dst)
+	if err := s.checkRange(addr, n); err != nil {
+		return 0, err
+	}
 	done = at
 
 	// Build per-channel batches so each channel's scheduler can interleave
 	// the row operations of this request.
-	type slot struct {
-		off  int
-		take int
+	batches := s.batches
+	for c := range batches {
+		batches[c] = batches[c][:0]
 	}
-	batches := make([][]rowReq, len(s.channels))
-	slots := make([][]slot, len(s.channels))
 	for off := 0; off < n; {
 		loc := s.locate(s.translate(addr + uint64(off)))
 		take := int(s.rowBytes) - loc.col
 		if take > n-off {
 			take = n - off
 		}
-		batches[loc.ch] = append(batches[loc.ch], rowReq{mod: loc.pkg, row: loc.row, col: loc.col, n: take})
-		slots[loc.ch] = append(slots[loc.ch], slot{off: off, take: take})
+		batches[loc.ch] = append(batches[loc.ch], rowReq{
+			mod: loc.pkg, row: loc.row, col: loc.col,
+			dst: dst[off : off+take : off+take],
+		})
 		off += take
 	}
 	for c, batch := range batches {
@@ -209,14 +241,13 @@ func (s *Subsystem) Read(at sim.Time, addr uint64, n int) (data []byte, done sim
 			continue
 		}
 		if err := s.channels[c].readBatch(at, batch); err != nil {
-			return nil, 0, err
+			return 0, err
 		}
-		for i, r := range batch {
-			copy(data[slots[c][i].off:], r.data)
-			done = sim.Max(done, r.done)
+		for i := range batch {
+			done = sim.Max(done, batch[i].done)
 		}
 	}
-	return data, done, nil
+	return done, nil
 }
 
 // ReadScatter fetches n bytes at each of several addresses as one
@@ -225,7 +256,6 @@ func (s *Subsystem) Read(at sim.Time, addr uint64, n int) (data []byte, done sim
 // addressing phases with each other's data bursts.
 func (s *Subsystem) ReadScatter(at sim.Time, addrs []uint64, n int) (data [][]byte, done sim.Time, err error) {
 	batches := make([][]rowReq, len(s.channels))
-	idx := make([][]int, len(s.channels))
 	data = make([][]byte, len(addrs))
 	done = at
 	for i, a := range addrs {
@@ -236,8 +266,8 @@ func (s *Subsystem) ReadScatter(at sim.Time, addrs []uint64, n int) (data [][]by
 		if loc.col+n > int(s.rowBytes) {
 			return nil, 0, fmt.Errorf("memctrl: scatter element [%#x,+%d) crosses a row boundary", a, n)
 		}
-		batches[loc.ch] = append(batches[loc.ch], rowReq{mod: loc.pkg, row: loc.row, col: loc.col, n: n})
-		idx[loc.ch] = append(idx[loc.ch], i)
+		data[i] = make([]byte, n)
+		batches[loc.ch] = append(batches[loc.ch], rowReq{mod: loc.pkg, row: loc.row, col: loc.col, dst: data[i]})
 	}
 	for c, batch := range batches {
 		if len(batch) == 0 {
@@ -246,9 +276,8 @@ func (s *Subsystem) ReadScatter(at sim.Time, addrs []uint64, n int) (data [][]by
 		if err := s.channels[c].readBatch(at, batch); err != nil {
 			return nil, 0, err
 		}
-		for j, r := range batch {
-			data[idx[c][j]] = r.data
-			done = sim.Max(done, r.done)
+		for i := range batch {
+			done = sim.Max(done, batch[i].done)
 		}
 	}
 	return data, done, nil

@@ -193,11 +193,11 @@ func (s *Subsystem) noteProgram(at sim.Time, paddr uint64) (sim.Time, error) {
 // index, bypassing translation (the leveler's own copies).
 func (s *Subsystem) readPhysicalRow(at sim.Time, row uint64) ([]byte, sim.Time, error) {
 	loc := s.locatePhysical(row * s.rowBytes)
-	reqs := []rowReq{{mod: loc.pkg, row: loc.row, col: 0, n: int(s.rowBytes)}}
-	if err := s.channels[loc.ch].readBatch(at, reqs); err != nil {
+	done, err := s.channels[loc.ch].readRowInto(at, loc.pkg, loc.row, 0, s.wearRow)
+	if err != nil {
 		return nil, 0, err
 	}
-	return reqs[0].data, reqs[0].done, nil
+	return s.wearRow, done, nil
 }
 
 func (s *Subsystem) writePhysicalRow(at sim.Time, row uint64, data []byte) (sim.Time, error) {

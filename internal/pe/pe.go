@@ -81,6 +81,7 @@ type PE struct {
 	ipc      *stats.Series // instructions per bucket, nil unless sampled
 	onSpan   func(Span)
 	storeBuf []byte // reusable nonzero store payload
+	loadBuf  []byte // reusable load destination (loaded bytes are discarded)
 }
 
 // New returns a PE executing stream against memory, starting at `start`.
@@ -155,7 +156,12 @@ func (p *PE) Step() (bool, error) {
 			// underprice every program.
 			done, err = p.memory.Write(p.now, op.Addr, p.payload(op.Size))
 		} else {
-			_, done, err = p.memory.Read(p.now, op.Addr, op.Size)
+			// The model discards loaded bytes (the kernel's arithmetic is
+			// abstracted by op.Compute), so loads reuse one scratch buffer.
+			if len(p.loadBuf) < op.Size {
+				p.loadBuf = make([]byte, op.Size)
+			}
+			done, err = mem.ReadIntoOf(p.memory, p.now, op.Addr, p.loadBuf[:op.Size])
 		}
 		if err != nil {
 			return false, fmt.Errorf("pe %d: %w", p.ID, err)

@@ -291,16 +291,28 @@ func (m *Module) Activate(at sim.Time, ba uint8, lower uint32) (done sim.Time, e
 // after the read preamble (RL + tDQSCK). It returns the data and the time
 // the last byte is on the bus.
 func (m *Module) ReadBurst(at sim.Time, ba uint8, col int, n int) (data []byte, done sim.Time, err error) {
-	if err := m.observe(lpddr.Command{Op: lpddr.OpRead, BA: ba, Addr: uint32(col)}); err != nil {
+	data = make([]byte, n)
+	done, err = m.ReadBurstInto(at, ba, col, data)
+	if err != nil {
 		return nil, 0, err
 	}
+	return data, done, nil
+}
+
+// ReadBurstInto is ReadBurst into a caller-provided buffer of len(dst)
+// bytes — the subsystem's allocation-free burst path.
+func (m *Module) ReadBurstInto(at sim.Time, ba uint8, col int, dst []byte) (done sim.Time, err error) {
+	n := len(dst)
+	data := dst
+	if err := m.observe(lpddr.Command{Op: lpddr.OpRead, BA: ba, Addr: uint32(col)}); err != nil {
+		return 0, err
+	}
 	if !m.rdbValid[ba] {
-		return nil, 0, fmt.Errorf("pram: read from invalid RDB %d", ba)
+		return 0, fmt.Errorf("pram: read from invalid RDB %d", ba)
 	}
 	if col < 0 || n <= 0 || col+n > m.geo.RowBytes {
-		return nil, 0, fmt.Errorf("pram: read burst [%d,%d) outside %d-byte row", col, col+n, m.geo.RowBytes)
+		return 0, fmt.Errorf("pram: read burst [%d,%d) outside %d-byte row", col, col+n, m.geo.RowBytes)
 	}
-	data = make([]byte, n)
 	if m.rdbWindow[ba] {
 		base := m.rdbRow[ba]*uint64(m.geo.RowBytes) - m.ow.base
 		for i := 0; i < n; i++ {
@@ -311,7 +323,7 @@ func (m *Module) ReadBurst(at sim.Time, ba uint8, col int, n int) (data []byte, 
 			}
 			b, err := m.ow.read(off)
 			if err != nil {
-				return nil, 0, err
+				return 0, err
 			}
 			data[i] = b
 		}
@@ -321,7 +333,7 @@ func (m *Module) ReadBurst(at sim.Time, ba uint8, col int, n int) (data []byte, 
 	busStart := m.bus.Acquire(at+m.par.ReadPreamble(), m.par.TBurst())
 	m.stats.ReadBursts++
 	m.stats.BytesRead += int64(n)
-	return data, busStart + m.par.TBurst(), nil
+	return busStart + m.par.TBurst(), nil
 }
 
 // WriteBurst pushes data toward the overlay window at column col of the

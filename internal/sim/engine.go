@@ -50,6 +50,15 @@ type Engine struct {
 	queue  eventHeap
 	nextID int64
 	ran    int64
+
+	// free is the event free-list: dispatched and cancelled events are
+	// recycled by the next Schedule, so a steady-state simulation stops
+	// allocating Event objects. Consequently an *Event handle is only
+	// valid while its event is pending — once it has run or been
+	// cancelled, the same object may already describe a different event,
+	// and Cancel on a stale handle is a bug (it may remove the wrong
+	// event). No model code retains handles past dispatch today.
+	free []*Event
 }
 
 // NewEngine returns an engine with the simulated clock at zero.
@@ -70,7 +79,14 @@ func (e *Engine) Schedule(at Time, fn func(now Time)) *Event {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
 	}
-	ev := &Event{At: at, Fn: fn, seq: e.nextID}
+	var ev *Event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free = e.free[:n-1]
+		ev.At, ev.Fn, ev.seq = at, fn, e.nextID
+	} else {
+		ev = &Event{At: at, Fn: fn, seq: e.nextID}
+	}
 	e.nextID++
 	heap.Push(&e.queue, ev)
 	return ev
@@ -89,6 +105,8 @@ func (e *Engine) Cancel(ev *Event) bool {
 	}
 	heap.Remove(&e.queue, ev.idx)
 	ev.idx = -1
+	ev.Fn = nil
+	e.free = append(e.free, ev)
 	return true
 }
 
@@ -101,7 +119,12 @@ func (e *Engine) Step() bool {
 	ev.idx = -1
 	e.now = ev.At
 	e.ran++
-	ev.Fn(e.now)
+	fn := ev.Fn
+	// Recycle before dispatch so fn's own Schedule call reuses the
+	// object (the common self-rescheduling pattern allocates nothing).
+	ev.Fn = nil
+	e.free = append(e.free, ev)
+	fn(e.now)
 	return true
 }
 

@@ -248,3 +248,27 @@ func TestPoolConservationProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestEventPoolSteadyStateAllocationFree pins the event free list: a
+// schedule/dispatch cycle at steady state reuses recycled Event objects
+// and allocates nothing.
+func TestEventPoolSteadyStateAllocationFree(t *testing.T) {
+	eng := NewEngine()
+	fired := 0
+	tick := func(now Time) { fired++ }
+	// Warm the free list and the heap slice's capacity.
+	for i := 0; i < 16; i++ {
+		eng.Schedule(eng.Now(), tick)
+		eng.Step()
+	}
+	allocs := testing.AllocsPerRun(500, func() {
+		eng.Schedule(eng.Now(), tick)
+		eng.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("schedule/step cycle allocates %.1f objects, want 0", allocs)
+	}
+	if fired < 16 {
+		t.Fatalf("events did not fire (fired=%d)", fired)
+	}
+}

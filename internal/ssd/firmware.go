@@ -110,6 +110,15 @@ func (f *FirmwareManaged) Read(at sim.Time, addr uint64, n int) ([]byte, sim.Tim
 	return f.inner.Read(start, addr, n)
 }
 
+// ReadInto implements mem.ReaderInto by charging the firmware cost and
+// passing the caller's buffer down to the inner device.
+func (f *FirmwareManaged) ReadInto(at sim.Time, addr uint64, dst []byte) (sim.Time, error) {
+	start := f.fw.Process(at)
+	return mem.ReadIntoOf(f.inner, start, addr, dst)
+}
+
+var _ mem.ReaderInto = (*FirmwareManaged)(nil)
+
 // Write implements mem.Device.
 func (f *FirmwareManaged) Write(at sim.Time, addr uint64, data []byte) (sim.Time, error) {
 	start := f.fw.Process(at)

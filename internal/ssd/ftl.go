@@ -25,6 +25,10 @@ type ftl struct {
 	logicalPages uint64
 	gcRuns       int64
 	gcMoves      int64
+
+	// scratch is the GC relocation page buffer (ProgramPage copies it
+	// into the array store, so one buffer serves every move).
+	scratch []byte
 }
 
 func newFTL(arr *flash.Array, logicalPages uint64) (*ftl, error) {
@@ -101,7 +105,10 @@ func (f *ftl) collect(at sim.Time) (sim.Time, error) {
 		if !live {
 			continue
 		}
-		data, rDone, err := f.arr.ReadPage(done, p)
+		if f.scratch == nil {
+			f.scratch = make([]byte, f.arr.Profile().PageBytes)
+		}
+		rDone, err := f.arr.ReadPageInto(done, p, f.scratch)
 		if err != nil {
 			return 0, err
 		}
@@ -117,7 +124,7 @@ func (f *ftl) collect(at sim.Time) (sim.Time, error) {
 		} else {
 			return 0, fmt.Errorf("ssd: GC has nowhere to relocate")
 		}
-		wDone, err := f.arr.ProgramPage(rDone, np, data)
+		wDone, err := f.arr.ProgramPage(rDone, np, f.scratch)
 		if err != nil {
 			return 0, err
 		}

@@ -101,10 +101,23 @@ type SSD struct {
 	dramPipe *sim.Pipe
 	dramBusy sim.Duration // DRAM buffer occupancy (energy accounting)
 
+	// Buffer entries and their page data come bufSlabPages at a time from
+	// slabs and are recycled on eviction, so the buffer churns between the
+	// same frames instead of allocating one page per miss.
+	freeEnts []*bufEntry
+	entSlab  []bufEntry
+	dataSlab []byte
+
 	stats Stats
 }
 
-var _ mem.Device = (*SSD)(nil)
+// bufSlabPages is how many buffer entries each slab allocation carries.
+const bufSlabPages = 64
+
+var (
+	_ mem.Device     = (*SSD)(nil)
+	_ mem.ReaderInto = (*SSD)(nil)
+)
 
 // New builds an SSD from cfg.
 func New(cfg Config) (*SSD, error) {
@@ -203,6 +216,29 @@ func (s *SSD) stage(at sim.Time) sim.Time {
 	return at
 }
 
+// newEntry returns a recycled or slab-carved buffer entry. e.data holds
+// arbitrary stale bytes: callers either fill the whole page or zero it.
+func (s *SSD) newEntry() *bufEntry {
+	if n := len(s.freeEnts); n > 0 {
+		e := s.freeEnts[n-1]
+		s.freeEnts = s.freeEnts[:n-1]
+		e.dirty = false
+		return e
+	}
+	pb := s.cfg.Media.PageBytes
+	if len(s.entSlab) == 0 {
+		s.entSlab = make([]bufEntry, bufSlabPages)
+		s.dataSlab = make([]byte, bufSlabPages*pb)
+	}
+	e := &s.entSlab[0]
+	s.entSlab = s.entSlab[1:]
+	e.data = s.dataSlab[:pb:pb]
+	s.dataSlab = s.dataSlab[pb:]
+	return e
+}
+
+func (s *SSD) recycle(e *bufEntry) { s.freeEnts = append(s.freeEnts, e) }
+
 // evictIfFull makes room in the buffer, programming a dirty victim.
 func (s *SSD) evictIfFull(at sim.Time) (sim.Time, error) {
 	if len(s.buf) < s.bufCap {
@@ -219,8 +255,11 @@ func (s *SSD) evictIfFull(at sim.Time) (sim.Time, error) {
 	delete(s.buf, victim)
 	if e.dirty {
 		s.stats.Flushes++
-		return s.ftl.write(at, victim, e.data)
+		done, err := s.ftl.write(at, victim, e.data)
+		s.recycle(e) // ftl.write copied the page into the array store
+		return done, err
 	}
+	s.recycle(e)
 	return at, nil
 }
 
@@ -239,29 +278,48 @@ func (s *SSD) fetch(at sim.Time, lpn uint64, accessBytes int) (*bufEntry, sim.Ti
 	if err != nil {
 		return nil, 0, err
 	}
-	data := make([]byte, s.cfg.Media.PageBytes)
+	e := s.newEntry()
 	if ppage, ok := s.ftl.read(lpn); ok {
 		s.stats.Fills++
-		pd, done, err := s.arr.ReadPage(at, ppage)
+		done, err := s.arr.ReadPageInto(at, ppage, e.data)
 		if err != nil {
+			s.recycle(e)
 			return nil, 0, err
 		}
-		copy(data, pd)
 		at = done
+	} else {
+		// Never-written page: reads as zero (the frame may be recycled).
+		for i := range e.data {
+			e.data[i] = 0
+		}
 	}
 	s.tick++
-	e := &bufEntry{data: data, tick: s.tick}
+	e.tick = s.tick
 	s.buf[lpn] = e
 	return e, s.dramAccess(at, accessBytes), nil
 }
 
 // Read implements mem.Device.
 func (s *SSD) Read(at sim.Time, addr uint64, n int) ([]byte, sim.Time, error) {
-	if err := mem.CheckRange("ssd", s.Size(), addr, n); err != nil {
+	if n <= 0 {
+		return nil, 0, mem.CheckRange("ssd", s.Size(), addr, n)
+	}
+	out := make([]byte, n)
+	done, err := s.ReadInto(at, addr, out)
+	if err != nil {
 		return nil, 0, err
 	}
+	return out, done, nil
+}
+
+// ReadInto implements mem.ReaderInto: buffer-resident pages are served
+// without allocating.
+func (s *SSD) ReadInto(at sim.Time, addr uint64, dst []byte) (sim.Time, error) {
+	n := len(dst)
+	if err := mem.CheckRange("ssd", s.Size(), addr, n); err != nil {
+		return 0, err
+	}
 	start := s.enter(at)
-	out := make([]byte, n)
 	done := start
 	pb := uint64(s.cfg.Media.PageBytes)
 	for off := 0; off < n; {
@@ -273,14 +331,14 @@ func (s *SSD) Read(at sim.Time, addr uint64, n int) ([]byte, sim.Time, error) {
 		}
 		e, d, err := s.fetch(start, lpn, take)
 		if err != nil {
-			return nil, 0, err
+			return 0, err
 		}
-		copy(out[off:], e.data[po:po+take])
+		copy(dst[off:], e.data[po:po+take])
 		done = sim.Max(done, d)
 		off += take
 	}
 	s.stats.Reads++
-	return out, done, nil
+	return done, nil
 }
 
 // Write implements mem.Device: pages are modified in the buffer
@@ -315,7 +373,8 @@ func (s *SSD) Write(at sim.Time, addr uint64, data []byte) (sim.Time, error) {
 					return 0, err
 				}
 				s.tick++
-				e = &bufEntry{data: make([]byte, pb), tick: s.tick}
+				e = s.newEntry() // fully overwritten below (po == 0, take == pb)
+				e.tick = s.tick
 				s.buf[lpn] = e
 				d = s.dramAccess(start2, take)
 			}
@@ -380,6 +439,7 @@ func (s *SSD) DropCaches() int {
 	for lpn, e := range s.buf {
 		if !e.dirty {
 			delete(s.buf, lpn)
+			s.recycle(e)
 			dropped++
 		}
 	}

@@ -81,6 +81,29 @@ type build struct {
 	fwWrap *ssd.FirmwareManaged
 	nor    *flash.NOR
 	dram   *mem.Flat // accelerator-internal DRAM (hetero / ideal)
+
+	// scratch is the read-destination buffer the load/store phases reuse
+	// for bulk traffic whose bytes are discarded; zeros is the write
+	// source for synthetic staging writes and is never modified, so the
+	// bytes landing in the devices stay all-zero as before.
+	scratch []byte
+	zeros   []byte
+}
+
+// stagingBuf returns a reusable n-byte read destination.
+func (b *build) stagingBuf(n int) []byte {
+	if len(b.scratch) < n {
+		b.scratch = make([]byte, n)
+	}
+	return b.scratch[:n]
+}
+
+// zeroBuf returns n zero bytes for synthetic staging writes.
+func (b *build) zeroBuf(n int) []byte {
+	if len(b.zeros) < n {
+		b.zeros = make([]byte, n)
+	}
+	return b.zeros[:n]
 }
 
 // newBuild constructs the system of cfg.Kind.
@@ -351,7 +374,7 @@ func (b *build) loadPhase(at sim.Time, k workload.Kernel, p workload.Params, in 
 			if n > in-off {
 				n = in - off
 			}
-			_, d, err := b.extSSD.Read(devDone, p.BaseAddr+uint64(off), int(n))
+			d, err := mem.ReadIntoOf(b.extSSD, devDone, p.BaseAddr+uint64(off), b.stagingBuf(int(n)))
 			if err != nil {
 				return 0, err
 			}
@@ -361,7 +384,7 @@ func (b *build) loadPhase(at sim.Time, k workload.Kernel, p workload.Params, in 
 		t = b.host.Deserialize(t, in)
 		t = b.accLink.DMA(t, in)
 		// Land the data in the accelerator DRAM.
-		d, err := b.dram.Write(t, p.BaseAddr, make([]byte, minI64(in, 1<<20)))
+		d, err := b.dram.Write(t, p.BaseAddr, b.zeroBuf(int(minI64(in, 1<<20))))
 		if err != nil {
 			return 0, err
 		}
@@ -381,7 +404,7 @@ func (b *build) loadPhase(at sim.Time, k workload.Kernel, p workload.Params, in 
 			if n > in-off {
 				n = in - off
 			}
-			_, d, err := b.extSSD.Read(devDone, p.BaseAddr+uint64(off), int(n))
+			d, err := mem.ReadIntoOf(b.extSSD, devDone, p.BaseAddr+uint64(off), b.stagingBuf(int(n)))
 			if err != nil {
 				return 0, err
 			}
@@ -390,7 +413,7 @@ func (b *build) loadPhase(at sim.Time, k workload.Kernel, p workload.Params, in 
 		t = sim.Max(t, devDone)
 		t = b.p2p.Transfer(t, in)
 		t = b.host.Completion(t)
-		d, err := b.dram.Write(t, p.BaseAddr, make([]byte, minI64(in, 1<<20)))
+		d, err := b.dram.Write(t, p.BaseAddr, b.zeroBuf(int(minI64(in, 1<<20))))
 		if err != nil {
 			return 0, err
 		}
@@ -443,7 +466,7 @@ func (b *build) storePhase(at sim.Time, k workload.Kernel, p workload.Params, ou
 	switch b.cfg.Kind {
 	case Hetero, HeteroPRAM:
 		// accel DRAM -> DMA -> host stack -> SSD.
-		_, t, err := b.dram.Read(at, k.OutputAddr(p), int(minI64(out, 1<<20)))
+		t, err := b.dram.ReadInto(at, k.OutputAddr(p), b.stagingBuf(int(minI64(out, 1<<20))))
 		if err != nil {
 			return 0, err
 		}
@@ -459,7 +482,7 @@ func (b *build) storePhase(at sim.Time, k workload.Kernel, p workload.Params, ou
 			if n > out-off {
 				n = out - off
 			}
-			d, err := b.extSSD.Write(t, k.OutputAddr(p)+uint64(off), make([]byte, n))
+			d, err := b.extSSD.Write(t, k.OutputAddr(p)+uint64(off), b.zeroBuf(int(n)))
 			if err != nil {
 				return 0, err
 			}
@@ -467,7 +490,7 @@ func (b *build) storePhase(at sim.Time, k workload.Kernel, p workload.Params, ou
 		}
 		return b.extSSD.Flush(t)
 	case Heterodirect, HeterodirectPRAM:
-		_, t, err := b.dram.Read(at, k.OutputAddr(p), int(minI64(out, 1<<20)))
+		t, err := b.dram.ReadInto(at, k.OutputAddr(p), b.stagingBuf(int(minI64(out, 1<<20))))
 		if err != nil {
 			return 0, err
 		}
@@ -482,7 +505,7 @@ func (b *build) storePhase(at sim.Time, k workload.Kernel, p workload.Params, ou
 			if n > out-off {
 				n = out - off
 			}
-			d, err := b.extSSD.Write(t, k.OutputAddr(p)+uint64(off), make([]byte, n))
+			d, err := b.extSSD.Write(t, k.OutputAddr(p)+uint64(off), b.zeroBuf(int(n)))
 			if err != nil {
 				return 0, err
 			}

@@ -21,6 +21,7 @@ type Vec struct {
 	dev  mem.Device
 	base uint64
 	n    int
+	word [8]byte // Get's load destination, reused across calls
 }
 
 // NewVec views n float64s at base.
@@ -42,11 +43,11 @@ func (v *Vec) Get(at sim.Time, i int) (float64, sim.Time, error) {
 	if i < 0 || i >= v.n {
 		return 0, 0, fmt.Errorf("workload: index %d outside vector of %d", i, v.n)
 	}
-	b, done, err := v.dev.Read(at, v.base+uint64(8*i), 8)
+	done, err := mem.ReadIntoOf(v.dev, at, v.base+uint64(8*i), v.word[:])
 	if err != nil {
 		return 0, 0, err
 	}
-	return math.Float64frombits(binary.LittleEndian.Uint64(b)), done, nil
+	return math.Float64frombits(binary.LittleEndian.Uint64(v.word[:])), done, nil
 }
 
 // Set stores element i at time `at`.
