@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-json profile vet fmt-check verify
+.PHONY: build test race bench bench-json profile trace vet fmt-check ci verify
 
 build:
 	$(GO) build ./...
@@ -37,6 +37,14 @@ profile:
 		-cpuprofile prof/fig15.cpu -memprofile prof/fig15.mem fig15 > /dev/null
 	@echo "profiles: prof/fig15.cpu prof/fig15.mem"
 
+# Observability demo: one DRAM-less end-to-end run with hardware
+# counters on stdout and a simulated-time timeline in trace.json -
+# open it in chrome://tracing or https://ui.perfetto.dev (DESIGN.md §9).
+trace:
+	$(GO) run ./cmd/dramless run -system DRAM-less -kernel gemver \
+		-trace trace.json -counters
+	@echo "timeline written to trace.json"
+
 vet:
 	$(GO) vet ./...
 
@@ -44,4 +52,8 @@ fmt-check:
 	@files=$$(gofmt -l .); if [ -n "$$files" ]; then \
 		echo "gofmt needed on:"; echo "$$files"; exit 1; fi
 
-verify: test race vet fmt-check
+# Pre-merge gate: everything a PR must pass before landing - build,
+# tests, race detector, go vet and gofmt. `make verify` is its alias.
+ci: test race vet fmt-check
+
+verify: ci

@@ -22,13 +22,15 @@ import (
 )
 
 // runExperiment drives one experiment per benchmark iteration and reports
-// selected row values as metrics.
+// selected row values as metrics. Each iteration builds a fresh engine so
+// the measured cost is a real regeneration, not a result-cache hit (the
+// deprecated free-function Experiment now shares a process-wide cache).
 func runExperiment(b *testing.B, id string, o dramless.ExperimentOptions, metrics func(*dramless.ExperimentTable, *testing.B)) {
 	b.Helper()
 	var tab *dramless.ExperimentTable
 	var err error
 	for i := 0; i < b.N; i++ {
-		tab, err = dramless.Experiment(id, o)
+		tab, err = dramless.NewExperimentEngine(o).Table(id)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -94,8 +94,12 @@ commands:
         regenerate the paper's tables/figures (default: all of them);
         -parallel bounds the simulation worker pool (0 = GOMAXPROCS,
         1 = serial) - output is byte-identical at any setting
-  run   -system <name> -kernel <name> [-scale bytes]
-        one end-to-end system simulation with full breakdowns
+  run   -system <name> -kernel <name> [-scale bytes] [-scheduler name]
+        [-trace out.json] [-counters]
+        one end-to-end system simulation with full breakdowns;
+        -trace records a simulated-time timeline (open the JSON in
+        chrome://tracing), -counters prints the hardware counters,
+        -scheduler overrides the PRAM controller policy
 
   experiments and run both take -cpuprofile / -memprofile <file> to
   capture pprof profiles of the simulation (see DESIGN.md §8).
@@ -186,16 +190,9 @@ func cmdTrace(args []string) {
 	schedName := fs.String("scheduler", "Final", "Bare-metal | Interleaving | Selective-erasing | Final")
 	fs.Parse(args)
 
-	var sched dramless.Scheduler
-	found := false
-	for _, s := range []dramless.Scheduler{dramless.BareMetal, dramless.Interleaving, dramless.SelectiveErasing, dramless.Final} {
-		if strings.EqualFold(s.String(), *schedName) {
-			sched, found = s, true
-			break
-		}
-	}
-	if !found {
-		fmt.Fprintf(os.Stderr, "unknown scheduler %q\n", *schedName)
+	sched, err := parseScheduler(*schedName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 
@@ -235,11 +232,24 @@ func cmdTrace(args []string) {
 	}
 }
 
+// parseScheduler resolves a controller policy by its display name.
+func parseScheduler(name string) (dramless.Scheduler, error) {
+	for _, s := range []dramless.Scheduler{dramless.BareMetal, dramless.Interleaving, dramless.SelectiveErasing, dramless.Final} {
+		if strings.EqualFold(s.String(), name) {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown scheduler %q", name)
+}
+
 func cmdRun(args []string) {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	sysName := fs.String("system", "DRAM-less", "system organization (see list)")
 	kernelName := fs.String("kernel", "gemver", "workload (see list)")
 	scale := fs.Int64("scale", 256<<10, "footprint scale in bytes")
+	schedName := fs.String("scheduler", "", "override PRAM controller policy (Bare-metal | Interleaving | Selective-erasing | Final)")
+	traceOut := fs.String("trace", "", "record a simulated-time timeline to this file (chrome://tracing JSON)")
+	counters := fs.Bool("counters", false, "print the run's hardware counters")
 	startProf := profileFlags(fs)
 	fs.Parse(args)
 	stopProf := startProf()
@@ -263,12 +273,40 @@ func cmdRun(args []string) {
 		os.Exit(2)
 	}
 
-	cfg := dramless.NewSystemConfig(kind)
+	var obsOpts []dramless.ObserverOption
+	if *traceOut != "" {
+		obsOpts = append(obsOpts, dramless.WithTracing())
+	}
+	observer := dramless.NewObserver(obsOpts...)
+	cfg := dramless.NewSystemConfig(kind, dramless.WithObserver(observer))
 	cfg.Scale = *scale
+	if *schedName != "" {
+		if cfg.Scheduler, err = parseScheduler(*schedName); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
 	res, err := dramless.RunSystem(cfg, w)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := observer.WriteTrace(f); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("timeline: %s (open in chrome://tracing or https://ui.perfetto.dev)\n\n", *traceOut)
 	}
 
 	fmt.Printf("%s running %s (%s), footprint %d KiB\n\n", kind, w.Name, w.Class, res.Footprint>>10)
@@ -299,4 +337,12 @@ func cmdRun(args []string) {
 	}
 	n := float64(len(rep.Agents))
 	fmt.Printf("cache hit rates: L1 %.0f%%  L2 %.0f%%\n", 100*l1/n, 100*l2/n)
+
+	if *counters {
+		fmt.Println("\nhardware counters:")
+		if _, err := res.Counters.WriteTo(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 }

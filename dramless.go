@@ -24,12 +24,14 @@ package dramless
 
 import (
 	"fmt"
+	"sync"
 
 	"dramless/internal/accel"
 	"dramless/internal/experiments"
 	"dramless/internal/kernel"
 	"dramless/internal/mem"
 	"dramless/internal/memctrl"
+	"dramless/internal/obs"
 	"dramless/internal/runner"
 	"dramless/internal/sim"
 	"dramless/internal/system"
@@ -70,28 +72,106 @@ const (
 // of sixteen multi-partition PRAM packages behind the FPGA controller.
 type PRAM = memctrl.Subsystem
 
+// Observability ------------------------------------------------------
+
+// Observer collects hardware counters - and, with tracing enabled,
+// a simulated-time span timeline - from every layer it is attached to
+// via WithObserver. A nil *Observer is the disabled state: every
+// instrumented path degrades to one nil check, and all PR 2
+// zero-allocation pins stay at zero.
+//
+// An Observer accumulates across the runs it observes but is not safe
+// for concurrent use; attach it to runs that execute one at a time.
+type Observer = obs.Observer
+
+// ObserverOption customizes NewObserver.
+type ObserverOption = obs.Option
+
+// Counters is an ordered registry of named counters and gauges
+// ("memctrl.rdb_hits", "accel.pe0.busy_ps", ...). SystemResult.Counters
+// carries one per run; identical runs produce identical registries.
+type Counters = obs.Counters
+
+// Tracer records simulated-time spans and exports them as Chrome
+// chrome://tracing JSON (Tracer.WriteChromeJSON / Observer.WriteTrace).
+type Tracer = obs.Tracer
+
+// TraceEvent is one completed simulated-time span.
+type TraceEvent = obs.TraceEvent
+
+// NewObserver builds an Observer; pass WithTracing to record timelines.
+func NewObserver(opts ...ObserverOption) *Observer { return obs.New(opts...) }
+
+// WithTracing enables span recording on a NewObserver.
+func WithTracing() ObserverOption { return obs.WithTracing() }
+
+// Construction options ------------------------------------------------
+//
+// All three build layers configure the same way: functional options with
+// one interface per layer (PRAMOption, AcceleratorOption, SystemOption).
+// Options meaningful at every layer - WithObserver today - implement all
+// three interfaces (CommonOption), so one value threads the whole stack:
+//
+//	o := dramless.NewObserver(dramless.WithTracing())
+//	cfg := dramless.NewSystemConfig(dramless.DRAMLess, dramless.WithObserver(o))
+
 // PRAMOption customizes NewPRAM.
-type PRAMOption func(*memctrl.Config)
+type PRAMOption interface{ applyPRAM(*memctrl.Config) }
+
+// AcceleratorOption customizes NewAccelerator.
+type AcceleratorOption interface{ applyAccel(*accel.Config) }
+
+// SystemOption customizes NewSystemConfig.
+type SystemOption interface{ applySystem(*system.Config) }
+
+// CommonOption is an option valid at every construction layer.
+type CommonOption interface {
+	PRAMOption
+	AcceleratorOption
+	SystemOption
+}
+
+// pramOptionFunc adapts a function to PRAMOption (the pre-redesign
+// option shape; every With* PRAM option wraps one).
+type pramOptionFunc func(*memctrl.Config)
+
+func (f pramOptionFunc) applyPRAM(c *memctrl.Config) { f(c) }
+
+// observerOption is WithObserver's implementation: the one option that
+// applies at every layer.
+type observerOption struct{ o *obs.Observer }
+
+func (w observerOption) applyPRAM(c *memctrl.Config) { c.Obs = w.o }
+func (w observerOption) applyAccel(c *accel.Config)  { c.Obs = w.o }
+func (w observerOption) applySystem(c *system.Config) {
+	c.Obs = w.o
+}
+
+// WithObserver attaches an Observer to the layer under construction: on
+// a PRAM it instruments the controller's channels, on an accelerator the
+// PEs and PSC, and on a SystemConfig the whole build (the run's counters
+// merge into the observer and every subsystem records trace spans).
+func WithObserver(o *Observer) CommonOption { return observerOption{o: o} }
 
 // WithScheduler selects the controller scheduling policy (default Final).
 func WithScheduler(s Scheduler) PRAMOption {
-	return func(c *memctrl.Config) { c.Scheduler = s }
+	return pramOptionFunc(func(c *memctrl.Config) { c.Scheduler = s })
 }
 
 // WithCapacityRows sets rows per module (capacity = rows x 32 B x 32
 // modules, minus the overlay windows). Must be a power of two.
 func WithCapacityRows(rows uint64) PRAMOption {
-	return func(c *memctrl.Config) { c.Geometry.RowsPerModule = rows }
+	return pramOptionFunc(func(c *memctrl.Config) { c.Geometry.RowsPerModule = rows })
 }
 
 // WithoutPhaseSkipping disables RAB/RDB-aware phase skipping (ablation).
 func WithoutPhaseSkipping() PRAMOption {
-	return func(c *memctrl.Config) { c.PhaseSkipping = false }
+	return pramOptionFunc(func(c *memctrl.Config) { c.PhaseSkipping = false })
 }
 
 // WithoutPrefetch disables sequential RDB prefetch (ablation).
 func WithoutPrefetch() PRAMOption {
-	return func(c *memctrl.Config) { c.Prefetch = false }
+	return pramOptionFunc(func(c *memctrl.Config) { c.Prefetch = false })
 }
 
 // WithWearLeveling enables start-gap wear leveling in the controller
@@ -101,7 +181,7 @@ func WithoutPrefetch() PRAMOption {
 // leveling region size (capacity overhead 1/regionRows). Pass 0,0 for the
 // conventional psi=100, 512-row-region configuration.
 func WithWearLeveling(gapWritePeriod, regionRows int) PRAMOption {
-	return func(c *memctrl.Config) {
+	return pramOptionFunc(func(c *memctrl.Config) {
 		w := memctrl.DefaultWear()
 		if gapWritePeriod > 0 {
 			w.GapWritePeriod = gapWritePeriod
@@ -110,7 +190,7 @@ func WithWearLeveling(gapWritePeriod, regionRows int) PRAMOption {
 			w.RegionRows = regionRows
 		}
 		c.Wear = w
-	}
+	})
 }
 
 // WearStats is the controller's endurance picture under wear leveling.
@@ -120,7 +200,7 @@ type WearStats = memctrl.WearStats
 // in-flight programs at the cost of stretching them - the Related Work
 // alternative the paper compares its interleaving against.
 func WithWritePausing() PRAMOption {
-	return func(c *memctrl.Config) { c.WritePausing = true }
+	return pramOptionFunc(func(c *memctrl.Config) { c.WritePausing = true })
 }
 
 // NewPRAM builds a booted DRAM-less PRAM subsystem. The returned Memory
@@ -129,7 +209,7 @@ func NewPRAM(opts ...PRAMOption) (*PRAM, Time, error) {
 	cfg := memctrl.DefaultConfig(memctrl.Final)
 	cfg.Geometry.RowsPerModule = 1 << 18 // 256 MiB usable by default
 	for _, o := range opts {
-		o(&cfg)
+		o.applyPRAM(&cfg)
 	}
 	sub, err := memctrl.New(cfg)
 	if err != nil {
@@ -149,9 +229,14 @@ type Accelerator = accel.Accelerator
 type Report = accel.Report
 
 // NewAccelerator assembles the paper's accelerator over any Memory
-// backend (the DRAM-less composition uses a *PRAM).
-func NewAccelerator(backend Memory) (*Accelerator, error) {
-	return accel.New(accel.Default(), backend)
+// backend (the DRAM-less composition uses a *PRAM). Options customize
+// the build; pre-redesign zero-option call sites are unchanged.
+func NewAccelerator(backend Memory, opts ...AcceleratorOption) (*Accelerator, error) {
+	cfg := accel.Default()
+	for _, o := range opts {
+		o.applyAccel(&cfg)
+	}
+	return accel.New(cfg, backend)
 }
 
 // Job is one kernel execution request for the server's multi-kernel
@@ -230,7 +315,17 @@ type SystemConfig = system.Config
 type SystemResult = system.Result
 
 // NewSystemConfig returns a runnable configuration of the given kind.
-func NewSystemConfig(kind SystemKind) SystemConfig { return system.DefaultConfig(kind) }
+// Options customize it at construction - WithObserver(o) attaches the
+// observability layer to the whole build; pre-redesign zero-option call
+// sites are unchanged. The returned value stays a plain struct whose
+// fields remain settable afterwards.
+func NewSystemConfig(kind SystemKind, opts ...SystemOption) SystemConfig {
+	cfg := system.DefaultConfig(kind)
+	for _, o := range opts {
+		o.applySystem(&cfg)
+	}
+	return cfg
+}
 
 // RunSystem executes the workload on the configured system end to end:
 // input staging, kernel offload, near-data execution, result persistence.
@@ -264,11 +359,43 @@ func NewExperimentEngine(o ExperimentOptions) *ExperimentEngine {
 	return experiments.NewEngine(o)
 }
 
+// defaultEngines shares one engine per distinct ExperimentOptions among
+// the deprecated free functions, so repeated Experiment calls in one
+// process hit the engine's simulation cache instead of re-simulating.
+// Options holds a slice (Kernels) and so is not comparable; the map
+// keys on a canonical rendering instead.
+var defaultEngines struct {
+	sync.Mutex
+	m map[string]*ExperimentEngine
+}
+
+// defaultEngine returns the process-wide engine for o, building it on
+// first use.
+func defaultEngine(o ExperimentOptions) *ExperimentEngine {
+	key := fmt.Sprintf("%d|%q|%d", o.Scale, o.Kernels, o.Parallelism)
+	defaultEngines.Lock()
+	defer defaultEngines.Unlock()
+	if defaultEngines.m == nil {
+		defaultEngines.m = make(map[string]*ExperimentEngine)
+	}
+	eng, ok := defaultEngines.m[key]
+	if !ok {
+		eng = experiments.NewEngine(o)
+		defaultEngines.m[key] = eng
+	}
+	return eng
+}
+
 // Experiments regenerates the identified tables and figures - all of
 // them, in paper order, when ids is empty - through one shared engine,
 // so common simulations run once and independent ones run in parallel.
+//
+// Deprecated: use NewExperimentEngine(o).Tables(ids...). The engine
+// form makes the simulation cache's lifetime explicit and lets several
+// regenerations share one cache; this function delegates to a
+// process-wide engine keyed by o.
 func Experiments(o ExperimentOptions, ids ...string) ([]*ExperimentTable, error) {
-	return experiments.NewEngine(o).Tables(ids...)
+	return defaultEngine(o).Tables(ids...)
 }
 
 // ExperimentIDs lists every reproducible table and figure.
@@ -283,13 +410,22 @@ func ExperimentIDs() []string {
 
 // Experiment regenerates the identified table or figure ("fig15",
 // "table2", "sec5-selerase", ...) at the given options.
+//
+// Deprecated: use NewExperimentEngine(o).Table(id). This function
+// delegates to a process-wide engine keyed by o, so repeated ids reuse
+// cached simulations, but the engine form makes that sharing explicit.
 func Experiment(id string, o ExperimentOptions) (*ExperimentTable, error) {
+	known := false
 	for _, e := range experiments.All() {
 		if e.ID == id {
-			return e.Gen(o)
+			known = true
+			break
 		}
 	}
-	return nil, fmt.Errorf("dramless: unknown experiment %q (have %v)", id, ExperimentIDs())
+	if !known {
+		return nil, fmt.Errorf("dramless: unknown experiment %q (have %v)", id, ExperimentIDs())
+	}
+	return defaultEngine(o).Table(id)
 }
 
 // FastExperiments returns options sized for quick runs; FullExperiments

@@ -1,0 +1,43 @@
+package dramless
+
+import "testing"
+
+// TestExperimentSharesDefaultEngine pins the satellite fix: the
+// deprecated free function Experiment must route through the shared
+// process-wide engine, so repeating an id in one process reuses cached
+// simulations instead of re-running them.
+func TestExperimentSharesDefaultEngine(t *testing.T) {
+	o := FastExperiments()
+	o.Scale = 96 << 10
+	o.Kernels = []string{"gemver"}
+	o.Parallelism = 1
+
+	if _, err := Experiment("fig15", o); err != nil {
+		t.Fatal(err)
+	}
+	eng := defaultEngine(o)
+	first := eng.Stats()
+	if first.Runs == 0 {
+		t.Fatal("first Experiment call ran no simulations")
+	}
+
+	if _, err := Experiment("fig15", o); err != nil {
+		t.Fatal(err)
+	}
+	second := eng.Stats()
+	if second.Runs != first.Runs {
+		t.Fatalf("repeated Experiment re-simulated: %d runs, then %d", first.Runs, second.Runs)
+	}
+	if second.Hits <= first.Hits {
+		t.Fatalf("repeated Experiment missed the cache: hits %d -> %d", first.Hits, second.Hits)
+	}
+
+	// Experiments shares the same engine; fig16 walks fig15's matrix so
+	// it must not add a single simulation either.
+	if _, err := Experiments(o, "fig16"); err != nil {
+		t.Fatal(err)
+	}
+	if third := eng.Stats(); third.Runs != second.Runs {
+		t.Fatalf("Experiments used a different cache: %d runs, then %d", second.Runs, third.Runs)
+	}
+}

@@ -2,6 +2,8 @@ package dramless_test
 
 import (
 	"bytes"
+	"encoding/json"
+	"fmt"
 	"testing"
 
 	"dramless"
@@ -114,6 +116,58 @@ func TestRunSystemAndWorkloads(t *testing.T) {
 	}
 	if len(dramless.Figure15Kinds()) != 10 || len(dramless.SystemKinds()) != 12 {
 		t.Fatal("system kind lists wrong")
+	}
+}
+
+func TestObserverThroughPublicAPI(t *testing.T) {
+	o := dramless.NewObserver(dramless.WithTracing())
+	cfg := dramless.NewSystemConfig(dramless.DRAMLess, dramless.WithObserver(o))
+	cfg.Scale = 128 << 10
+	w, _ := dramless.WorkloadByName("gemver")
+	res, err := dramless.RunSystem(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.Len() == 0 {
+		t.Fatal("run produced no counters")
+	}
+	for _, name := range []string{
+		"memctrl.rab_hits", "memctrl.rdb_hits", "memctrl.interleave_overlaps",
+		"pram.programs", "accel.psc.boots", "sim.events_dispatched",
+	} {
+		if res.Counters.Get(name) <= 0 {
+			t.Errorf("counter %s = %d, want > 0", name, res.Counters.Get(name))
+		}
+	}
+	// The observer accumulated the run's counters and recorded spans.
+	if got, want := o.Counters().Get("accel.psc.boots"), res.Counters.Get("accel.psc.boots"); got != want {
+		t.Fatalf("observer counters = %d boots, result has %d", got, want)
+	}
+	if o.Tracer().Len() == 0 {
+		t.Fatal("tracing enabled but no spans recorded")
+	}
+	var buf bytes.Buffer
+	if err := o.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	procs := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		if ev["ph"] == "M" && ev["name"] == "process_name" {
+			if args, ok := ev["args"].(map[string]any); ok {
+				procs[fmt.Sprint(args["name"])] = true
+			}
+		}
+	}
+	for _, p := range []string{"accel", "pram.ch0", "pram.ch1", "system"} {
+		if !procs[p] {
+			t.Errorf("trace missing process %q (have %v)", p, procs)
+		}
 	}
 }
 

@@ -68,9 +68,12 @@ func ExampleRunSystem() {
 	// DRAM-less beats Hetero: true
 }
 
-// Regenerate one of the paper's tables.
-func ExampleExperiment() {
-	tab, err := dramless.Experiment("table2", dramless.FastExperiments())
+// Regenerate one of the paper's tables. Experiments regenerated through
+// the same engine share one simulation cache, so related figures (fig15,
+// fig16, fig17 walk the same system x kernel matrix) cost one sweep.
+func ExampleNewExperimentEngine() {
+	eng := dramless.NewExperimentEngine(dramless.FastExperiments())
+	tab, err := eng.Table("table2")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -79,4 +82,27 @@ func ExampleExperiment() {
 	// Output:
 	// characterized PRAM parameters
 	// tRCD = 80 ns
+}
+
+// Observe a run: attach one Observer to the whole build and read the
+// hardware counters the paper's mechanisms produce. With WithTracing the
+// observer also records a simulated-time timeline for chrome://tracing
+// (Observer.WriteTrace).
+func ExampleWithObserver() {
+	o := dramless.NewObserver()
+	cfg := dramless.NewSystemConfig(dramless.DRAMLess, dramless.WithObserver(o))
+	cfg.Scale = 128 << 10
+	w, _ := dramless.WorkloadByName("gemver")
+	res, err := dramless.RunSystem(cfg, w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c := &res.Counters
+	fmt.Printf("row-buffer hits seen: %v\n", c.Get("memctrl.rdb_hits") > 0)
+	fmt.Printf("interleave overlaps won: %v\n", c.Get("memctrl.interleave_overlaps") > 0)
+	fmt.Printf("PSC reboots: %d\n", c.Get("accel.psc.boots"))
+	// Output:
+	// row-buffer hits seen: true
+	// interleave overlaps won: true
+	// PSC reboots: 7
 }

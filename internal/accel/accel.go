@@ -12,6 +12,7 @@ import (
 	"dramless/internal/cache"
 	"dramless/internal/mem"
 	"dramless/internal/noc"
+	"dramless/internal/obs"
 	"dramless/internal/pe"
 	"dramless/internal/sim"
 	"dramless/internal/stats"
@@ -35,6 +36,10 @@ type Config struct {
 	LaunchOverhead sim.Duration
 	// SampleInterval enables IPC/power series when positive.
 	SampleInterval sim.Duration
+	// Obs attaches the observability layer: per-PE kernel/flush spans
+	// when its tracer is on, and CountersInto snapshots. Nil disables
+	// observation at zero cost.
+	Obs *obs.Observer
 }
 
 // Default returns the paper's platform.
@@ -86,6 +91,13 @@ type Accelerator struct {
 	// writeGen invalidates MCU stream buffers on any write through the
 	// accelerator, keeping aggregated fetches coherent.
 	writeGen int64
+
+	// Event-engine totals accumulated over every runAll on this
+	// accelerator, and the summed time job agents spent waiting for a
+	// free PE (RunJobs FIFO queue).
+	events         int64
+	eventsRecycled int64
+	queueWait      sim.Duration
 }
 
 // mcuFetchBytes is the server's aggregated request size: "512 bytes per
@@ -266,10 +278,53 @@ type Report struct {
 	Instrs  int64
 	Compute sim.Duration // summed over agents
 	Stall   sim.Duration
+	// Events / EventsRecycled are the simulation engine's dispatch and
+	// free-list reuse counts for this run (observability: the PR 2 event
+	// pool staying effective).
+	Events         int64
+	EventsRecycled int64
 }
 
 // ExecTime returns the wall-clock duration of the run.
 func (r *Report) ExecTime() sim.Duration { return r.End - r.Start }
+
+// CountersInto writes the run's activity into the registry: per-PE busy
+// (compute) and stall time, instruction counts and L1/L2 cache activity,
+// plus aggregate totals and event-engine counts.
+func (r *Report) CountersInto(c *obs.Counters) {
+	if c == nil {
+		return
+	}
+	for i := range r.Agents {
+		ag := &r.Agents[i]
+		p := fmt.Sprintf("accel.pe%d.", i)
+		c.Add(p+"instructions", ag.Instructions)
+		c.Add(p+"busy_ps", int64(ag.Compute))
+		c.Add(p+"stall_ps", int64(ag.Stall))
+		ag.L1.CountersInto(c, p+"l1.")
+		ag.L2.CountersInto(c, p+"l2.")
+	}
+	c.Add("accel.instructions", r.Instrs)
+	c.Add("accel.busy_ps", int64(r.Compute))
+	c.Add("accel.stall_ps", int64(r.Stall))
+	c.Add("sim.events_dispatched", r.Events)
+	c.Add("sim.events_recycled", r.EventsRecycled)
+}
+
+// CountersInto writes the accelerator's lifetime activity into the
+// registry: PSC reboots and transitions, job queue wait, MCU occupancy
+// and event-engine totals across every run on this device.
+func (a *Accelerator) CountersInto(c *obs.Counters) {
+	if c == nil {
+		return
+	}
+	c.Add("accel.psc.boots", a.psc.Boots())
+	c.Add("accel.psc.transitions", int64(a.psc.Transitions()))
+	c.Add("accel.job_queue_wait_ps", int64(a.queueWait))
+	c.Add("accel.mcu_busy_ps", int64(a.mcu.BusyTime()))
+	c.Add("accel.events_dispatched", a.events)
+	c.Add("accel.events_recycled", a.eventsRecycled)
+}
 
 // TotalIPC returns aggregate retired instructions per core cycle across
 // agents (the Figure 18/19 metric), using a 1 GHz reference clock.
@@ -286,7 +341,7 @@ func (r *Report) TotalIPC(clockHz float64) float64 {
 // and every step reschedules the core at its new time. Shared resources
 // (MCU, crossbar, backend) therefore see requests in a globally causal
 // arrival order.
-func runAll(pes []*pe.PE) error {
+func runAll(pes []*pe.PE) (processed, recycled int64, err error) {
 	eng := sim.NewEngine()
 	var failure error
 	for _, c := range pes {
@@ -311,7 +366,7 @@ func runAll(pes []*pe.PE) error {
 		eng.Schedule(core.Now(), step)
 	}
 	eng.Run()
-	return failure
+	return eng.Processed(), eng.Recycled(), failure
 }
 
 // RunKernel executes kernel k with params p across the agents, starting
@@ -374,12 +429,17 @@ func (a *Accelerator) RunKernel(start sim.Time, k workload.Kernel, p workload.Pa
 	}
 
 	// Interleave agent execution in time order.
-	if err := runAll(pes); err != nil {
+	processed, recycled, err := runAll(pes)
+	if err != nil {
 		return nil, err
 	}
+	rep.Events, rep.EventsRecycled = processed, recycled
+	a.events += processed
+	a.eventsRecycled += recycled
 
 	// Flush caches so results persist in the backend, then drain posted
 	// work.
+	tr := a.cfg.Obs.Tracer()
 	end := start
 	for i, core := range pes {
 		fin := core.Now()
@@ -389,6 +449,12 @@ func (a *Accelerator) RunKernel(start sim.Time, k workload.Kernel, p workload.Pa
 		}
 		if d, err = l2s[i].Flush(d); err != nil {
 			return nil, err
+		}
+		if tr.Enabled() {
+			kStart := fin - core.ComputeTime() - core.StallTime()
+			track := fmt.Sprintf("pe%d", i)
+			tr.Span("accel", track, "kernel", kStart, fin)
+			tr.Span("accel", track, "flush", fin, d)
 		}
 		run := AgentRun{
 			Instructions: core.Instructions(),

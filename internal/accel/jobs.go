@@ -84,6 +84,13 @@ func (a *Accelerator) RunJobs(start sim.Time, jobs []Job) ([]*JobResult, error) 
 			if err := p.Validate(); err != nil {
 				return nil, err
 			}
+			// Queue wait: how long past submission each placed agent was
+			// still busy with earlier jobs (observability counter).
+			for _, id := range wave[w].agentIDs {
+				if wait := agents[id].freeAt - start; wait > 0 {
+					a.queueWait += wait
+				}
+			}
 			runners, err := a.buildRunners(job.Kernel, p, wave[w].agentIDs, agents)
 			if err != nil {
 				return nil, err
@@ -93,9 +100,12 @@ func (a *Accelerator) RunJobs(start sim.Time, jobs []Job) ([]*JobResult, error) 
 				cores = append(cores, r.core)
 			}
 		}
-		if err := runAll(cores); err != nil {
+		processed, recycled, err := runAll(cores)
+		if err != nil {
 			return nil, err
 		}
+		a.events += processed
+		a.eventsRecycled += recycled
 
 		// Collect per-job reports and release the agents.
 		for w := range wave {

@@ -48,6 +48,7 @@ type PSC struct {
 	states []PEState
 	since  []sim.Time
 	log    []pscTransition
+	boots  int64
 
 	// residency[agent][state] accumulates closed spans.
 	residency [][3]sim.Duration
@@ -101,6 +102,7 @@ func (p *PSC) Boot(at sim.Time, agent int, launch sim.Duration) (running sim.Tim
 	if err := p.transition(running, agent, StateRunning); err != nil {
 		return 0, err
 	}
+	p.boots++
 	return running, nil
 }
 
@@ -130,3 +132,7 @@ func (p *PSC) Residency(agent int, state PEState, at sim.Time) sim.Duration {
 
 // Transitions returns how many state changes have been recorded.
 func (p *PSC) Transitions() int { return len(p.log) }
+
+// Boots returns how many reboot sequences completed (the PSC-reboot
+// observability counter: each kernel launch reboots its agents).
+func (p *PSC) Boots() int64 { return p.boots }

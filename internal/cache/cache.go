@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"dramless/internal/mem"
+	"dramless/internal/obs"
 	"dramless/internal/sim"
 )
 
@@ -68,6 +69,20 @@ func (s Stats) HitRate() float64 {
 		return 0
 	}
 	return float64(s.Hits) / float64(t)
+}
+
+// CountersInto writes the snapshot into the registry under prefix (e.g.
+// "accel.pe0.l1."), including a hit-rate gauge once the cache saw
+// traffic.
+func (s Stats) CountersInto(c *obs.Counters, prefix string) {
+	c.Add(prefix+"hits", s.Hits)
+	c.Add(prefix+"misses", s.Misses)
+	c.Add(prefix+"evictions", s.Evictions)
+	c.Add(prefix+"writebacks", s.Writebacks)
+	c.Add(prefix+"bytes_below", s.BytesBelow)
+	if s.Hits+s.Misses > 0 {
+		c.SetGauge(prefix+"hit_rate", s.HitRate())
+	}
 }
 
 type line struct {

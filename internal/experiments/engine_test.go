@@ -4,6 +4,9 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"dramless/internal/system"
+	"dramless/internal/workload"
 )
 
 // TestParallelByteIdenticalToSerial is the determinism regression test:
@@ -122,5 +125,51 @@ func TestTablesDefaultOrder(t *testing.T) {
 		if tabs[i].ID != x.ID {
 			t.Errorf("table %d: id %q, want %q", i, tabs[i].ID, x.ID)
 		}
+	}
+}
+
+// TestCountersDeterministicAcrossParallelism pins the observability
+// determinism guarantee: every simulation cell's hardware-counter
+// registry must be identical whether the engine ran serially or over an
+// 8-worker pool. Counter collection walks per-run state in fixed code
+// order, so any divergence means instrumentation leaked state between
+// concurrently executing simulations.
+func TestCountersDeterministicAcrossParallelism(t *testing.T) {
+	kinds := system.Fig15Kinds()
+	kernels := []workload.Kernel{
+		workload.MustByName("gemver"),
+		workload.MustByName("doitg"),
+	}
+
+	serialOpts := quickOpts()
+	serialOpts.Parallelism = 1
+	serial := NewEngine(serialOpts)
+
+	parOpts := quickOpts()
+	parOpts.Parallelism = 8
+	par := NewEngine(parOpts)
+	par.prefetch(kinds, kernels) // force concurrent execution
+
+	for _, kind := range kinds {
+		for _, k := range kernels {
+			sres, err := serial.get(kind, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pres, err := par.get(kind, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sres.Counters.Len() == 0 {
+				t.Fatalf("%s/%s: serial run produced no counters", kind, k.Name)
+			}
+			if !sres.Counters.Equal(&pres.Counters) {
+				t.Errorf("%s/%s: counters diverge between serial and parallel engines:\n%s",
+					kind, k.Name, sres.Counters.Diff(&pres.Counters))
+			}
+		}
+	}
+	if st := par.Stats(); st.Workers != 8 {
+		t.Fatalf("parallel engine ran %d workers, want 8", st.Workers)
 	}
 }

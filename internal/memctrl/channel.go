@@ -3,6 +3,7 @@ package memctrl
 import (
 	"fmt"
 
+	"dramless/internal/obs"
 	"dramless/internal/pram"
 	"dramless/internal/sim"
 )
@@ -40,6 +41,14 @@ type channel struct {
 	rmwRow  []byte
 	execBuf [1]byte // the 1-byte RegExec touch, hoisted off writeWave
 
+	// tr records per-channel timeline spans when tracing is on; proc is
+	// the channel's trace process name and tracks the per-package thread
+	// names, precomputed so recording a span allocates nothing. tr is nil
+	// when observation is off (the nil Tracer no-ops).
+	tr     *obs.Tracer
+	proc   string
+	tracks []string
+
 	stats Stats
 }
 
@@ -54,6 +63,12 @@ func newChannel(idx int, cfg Config) (*channel, error) {
 		rmwRow:      make([]byte, cfg.Geometry.RowBytes),
 	}
 	ch.execBuf[0] = 1
+	ch.tr = cfg.Obs.Tracer()
+	ch.proc = fmt.Sprintf("pram.ch%d", idx)
+	ch.tracks = make([]string, cfg.Params.Packages)
+	for p := range ch.tracks {
+		ch.tracks[p] = fmt.Sprintf("pkg%d", p)
+	}
 	for p := 0; p < cfg.Params.Packages; p++ {
 		m, err := pram.NewModule(cfg.Geometry, cfg.Params)
 		if err != nil {
@@ -226,6 +241,9 @@ func (ch *channel) readOne(r *rowReq, at sim.Time) error {
 	}
 	ch.stats.Reads++
 	ch.stats.BytesRead += int64(len(r.dst))
+	if ch.tr != nil {
+		ch.tr.Span(ch.proc, ch.tracks[r.mod], "read", at, r.done)
+	}
 	if ch.cfg.Prefetch && ch.cfg.Scheduler.Interleaving() {
 		ch.prefetch(rowReady, r.mod, r.row+1)
 	}
@@ -237,6 +255,11 @@ func (ch *channel) readOne(r *rowReq, at sim.Time) error {
 // one request's activation from rebinding a pair another request in the
 // wave is still going to burst from.
 func (ch *channel) readWave(at sim.Time, wave []*rowReq) error {
+	if len(wave) > 1 {
+		// Every row past the first overlaps its array access with
+		// another row's activity in this wave (Figure 12).
+		ch.stats.InterleaveOverlaps += int64(len(wave) - 1)
+	}
 	claimed := map[int]uint8{}
 	// Phase 1: pre-active (or skip via RAB/RDB state).
 	for _, r := range wave {
@@ -294,6 +317,12 @@ func (ch *channel) readWave(at sim.Time, wave []*rowReq) error {
 		r.done = done
 		ch.stats.Reads++
 		ch.stats.BytesRead += int64(len(r.dst))
+		if ch.tr != nil {
+			if r.needAct {
+				ch.tr.Span(ch.proc, ch.tracks[r.mod], "sense", at, r.rowReady)
+			}
+			ch.tr.Span(ch.proc, ch.tracks[r.mod], "burst", r.rowReady, r.done)
+		}
 	}
 	// Background: sequential next-row prefetch into spare RDBs.
 	if ch.cfg.Prefetch {
@@ -375,6 +404,9 @@ func (ch *channel) writeRow(at sim.Time, mod int, rowAddr uint64, col int, data 
 	}
 	ch.stats.Writes++
 	ch.stats.BytesWritten += int64(len(data))
+	if ch.tr != nil {
+		ch.tr.Span(ch.proc, ch.tracks[mod], "program", at, done)
+	}
 
 	if !ch.cfg.Scheduler.Interleaving() {
 		// Bare-metal and selective-erasing do not overlap the chip's next
@@ -433,6 +465,9 @@ func (ch *channel) writeBatch(at sim.Time, reqs []writeReq) error {
 
 // writeWave issues one wave's program flows step by step.
 func (ch *channel) writeWave(at sim.Time, wave []*writeReq) error {
+	if len(wave) > 1 {
+		ch.stats.InterleaveOverlaps += int64(len(wave) - 1)
+	}
 	ba := ch.windowBA()
 	// Selective erasing decisions first (no bus activity).
 	for _, r := range wave {
@@ -465,6 +500,9 @@ func (ch *channel) writeWave(at sim.Time, wave []*writeReq) error {
 		r.done = d
 		ch.stats.Writes++
 		ch.stats.BytesWritten += int64(len(r.data))
+		if ch.tr != nil {
+			ch.tr.Span(ch.proc, ch.tracks[r.mod], "program", at, r.done)
+		}
 	}
 	return nil
 }

@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"dramless/internal/lpddr"
+	"dramless/internal/obs"
 	"dramless/internal/pram"
 )
 
@@ -88,6 +89,11 @@ type Config struct {
 	// programs on a read (the Related Work alternative [66] the paper
 	// argues against); off on the paper's device.
 	WritePausing bool
+	// Obs attaches the observability layer: counters snapshot into its
+	// registry via CountersInto and, when its tracer is enabled, every
+	// read burst and program flow records a per-channel span. Nil (the
+	// default) disables observation at zero cost.
+	Obs *obs.Observer
 }
 
 // DefaultConfig returns the paper's DRAM-less controller configuration
@@ -137,6 +143,12 @@ type Stats struct {
 	FullAccesses   int64 // all three phases required
 
 	Prefetches int64 // speculative activates issued
+
+	// InterleaveOverlaps counts the overlaps the multi-resource-aware
+	// scheduler won: row operations that shared a wave with at least one
+	// other operation, so their array access hid behind another row's
+	// bus transfer (Figure 12). Structurally zero without interleaving.
+	InterleaveOverlaps int64
 
 	PreErasedRows int64 // rows zero-programmed by selective erasing
 	BytesRead     int64

@@ -5,6 +5,7 @@ import (
 
 	"dramless/internal/lpddr"
 	"dramless/internal/mem"
+	"dramless/internal/obs"
 	"dramless/internal/pram"
 	"dramless/internal/sim"
 )
@@ -411,6 +412,7 @@ func (s *Subsystem) Stats() Stats {
 		out.ActivateSkips += ch.stats.ActivateSkips
 		out.FullAccesses += ch.stats.FullAccesses
 		out.Prefetches += ch.stats.Prefetches
+		out.InterleaveOverlaps += ch.stats.InterleaveOverlaps
 		out.PreErasedRows += ch.stats.PreErasedRows
 		out.BytesRead += ch.stats.BytesRead
 		out.BytesWritten += ch.stats.BytesWritten
@@ -437,9 +439,67 @@ func (s *Subsystem) ModuleStats() pram.Stats {
 			out.BytesRead += ms.BytesRead
 			out.BytesWritten += ms.BytesWritten
 			out.ProgramTime += ms.ProgramTime
+			out.Pauses += ms.Pauses
 		}
 	}
 	return out
+}
+
+// CountersInto snapshots the subsystem's activity into the registry:
+// per-channel scheduler counters, aggregate RAB/RDB hit-rate gauges,
+// device-level totals and the wear leveler's gap moves. Collection is
+// end-of-run only, so instrumented hot paths pay nothing for it.
+func (s *Subsystem) CountersInto(c *obs.Counters) {
+	if c == nil {
+		return
+	}
+	for i, ch := range s.channels {
+		p := fmt.Sprintf("memctrl.ch%d.", i)
+		st := ch.stats
+		c.Add(p+"reads", st.Reads)
+		c.Add(p+"writes", st.Writes)
+		c.Add(p+"rab_hits", st.PreactiveSkips)
+		c.Add(p+"rdb_hits", st.ActivateSkips)
+		c.Add(p+"full_accesses", st.FullAccesses)
+		c.Add(p+"prefetches", st.Prefetches)
+		c.Add(p+"interleave_overlaps", st.InterleaveOverlaps)
+		c.Add(p+"pre_erased_rows", st.PreErasedRows)
+		c.Add(p+"bytes_read", st.BytesRead)
+		c.Add(p+"bytes_written", st.BytesWritten)
+	}
+	st := s.Stats()
+	c.Add("memctrl.reads", st.Reads)
+	c.Add("memctrl.writes", st.Writes)
+	c.Add("memctrl.rab_hits", st.PreactiveSkips)
+	c.Add("memctrl.rdb_hits", st.ActivateSkips)
+	c.Add("memctrl.full_accesses", st.FullAccesses)
+	c.Add("memctrl.prefetches", st.Prefetches)
+	c.Add("memctrl.interleave_overlaps", st.InterleaveOverlaps)
+	c.Add("memctrl.pre_erased_rows", st.PreErasedRows)
+	c.Add("memctrl.bytes_read", st.BytesRead)
+	c.Add("memctrl.bytes_written", st.BytesWritten)
+	if binds := st.PreactiveSkips + st.ActivateSkips + st.FullAccesses; binds > 0 {
+		// RDB hit = both phases skipped; RAB hit = at least the
+		// pre-active skipped (an RDB hit implies a loaded RAB).
+		c.SetGauge("memctrl.rdb_hit_rate", float64(st.ActivateSkips)/float64(binds))
+		c.SetGauge("memctrl.rab_hit_rate", float64(st.PreactiveSkips+st.ActivateSkips)/float64(binds))
+	}
+	ms := s.ModuleStats()
+	c.Add("pram.preactives", ms.Preactives)
+	c.Add("pram.activates", ms.Activates)
+	c.Add("pram.window_activates", ms.WindowAct)
+	c.Add("pram.read_bursts", ms.ReadBursts)
+	c.Add("pram.write_bursts", ms.WriteBursts)
+	c.Add("pram.programs", ms.Programs)
+	c.Add("pram.erases", ms.Erases)
+	c.Add("pram.program_time_ps", int64(ms.ProgramTime))
+	c.Add("pram.write_pauses", ms.Pauses)
+	ws := s.WearStats()
+	if ws.Enabled {
+		c.Add("memctrl.wear.gap_moves", ws.GapMoves)
+		c.Add("memctrl.wear.max_wear", ws.MaxWear)
+	}
+	c.Add("memctrl.bus_busy_ps", int64(s.BusBusyTime()))
 }
 
 // BusBusyTime sums DQ-bus occupancy over channels, for utilization

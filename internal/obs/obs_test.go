@@ -1,0 +1,259 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dramless/internal/sim"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func TestCountersRegistry(t *testing.T) {
+	var c Counters
+	c.Add("memctrl.reads", 3)
+	c.Add("memctrl.writes", 1)
+	c.Add("memctrl.reads", 2)
+	c.SetGauge("memctrl.rdb_hit_rate", 0.75)
+
+	if got := c.Get("memctrl.reads"); got != 5 {
+		t.Errorf("reads = %d, want 5", got)
+	}
+	if got := c.Get("memctrl.absent"); got != 0 {
+		t.Errorf("absent counter = %d, want 0", got)
+	}
+	if got := c.Gauge("memctrl.rdb_hit_rate"); got != 0.75 {
+		t.Errorf("gauge = %g, want 0.75", got)
+	}
+	wantNames := []string{"memctrl.reads", "memctrl.writes", "memctrl.rdb_hit_rate"}
+	if got := c.Names(); len(got) != len(wantNames) {
+		t.Fatalf("Names() = %v, want %v", got, wantNames)
+	} else {
+		for i := range wantNames {
+			if got[i] != wantNames[i] {
+				t.Errorf("Names()[%d] = %q, want %q (registration order must be preserved)", i, got[i], wantNames[i])
+			}
+		}
+	}
+	if c.Len() != 3 {
+		t.Errorf("Len() = %d, want 3", c.Len())
+	}
+}
+
+func TestCountersNilSafe(t *testing.T) {
+	var c *Counters
+	c.Add("x", 1)
+	c.SetGauge("y", 2)
+	c.Merge(&Counters{})
+	if c.Get("x") != 0 || c.Gauge("y") != 0 || c.Len() != 0 || c.Has("x") {
+		t.Error("nil Counters must read as empty")
+	}
+	if c.Names() != nil || c.Entries() != nil {
+		t.Error("nil Counters must enumerate as empty")
+	}
+}
+
+func TestCountersMergeEqualDiff(t *testing.T) {
+	var a, b Counters
+	a.Add("n", 2)
+	a.SetGauge("g", 0.5)
+	b.Add("n", 3)
+	b.Add("extra", 1)
+	b.SetGauge("g", 0.25)
+
+	a.Merge(&b)
+	if got := a.Get("n"); got != 5 {
+		t.Errorf("merged counter = %d, want 5 (counters add)", got)
+	}
+	if got := a.Gauge("g"); got != 0.25 {
+		t.Errorf("merged gauge = %g, want 0.25 (gauges overwrite)", got)
+	}
+	if got := a.Get("extra"); got != 1 {
+		t.Errorf("new name = %d, want 1", got)
+	}
+
+	var c, d Counters
+	c.Add("n", 1)
+	d.Add("n", 1)
+	if !c.Equal(&d) {
+		t.Error("identical registries must compare Equal")
+	}
+	d.Add("n", 1)
+	if c.Equal(&d) {
+		t.Error("differing values must not compare Equal")
+	}
+	if diff := c.Diff(&d); !strings.Contains(diff, "n:") {
+		t.Errorf("Diff() = %q, want mention of n", diff)
+	}
+}
+
+func TestCountersJSONOrdered(t *testing.T) {
+	var c Counters
+	c.Add("z.second", 1)
+	c.Add("a.first", 2) // lexically before but registered after
+	c.SetGauge("m.rate", 0.5)
+	data, err := json.Marshal(&c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	if iz, ia := strings.Index(s, "z.second"), strings.Index(s, "a.first"); iz < 0 || ia < 0 || iz > ia {
+		t.Errorf("JSON must preserve registration order, got %s", s)
+	}
+	if !strings.Contains(s, `"kind":"gauge"`) || !strings.Contains(s, `"gauge":0.5`) {
+		t.Errorf("gauge entry missing from %s", s)
+	}
+}
+
+func TestObserverNilSafe(t *testing.T) {
+	var o *Observer
+	if o.Tracer() != nil {
+		t.Error("nil Observer must yield nil Tracer")
+	}
+	if o.Counters() != nil {
+		t.Error("nil Observer must yield nil Counters")
+	}
+	o.Record(&Counters{}) // must not panic
+	o.Tracer().Span("p", "t", "n", 0, sim.Time(10))
+}
+
+func TestObserverRecordAccumulates(t *testing.T) {
+	o := New()
+	if o.Tracer() != nil {
+		t.Error("tracing must be off unless requested")
+	}
+	var run Counters
+	run.Add("sim.events", 10)
+	o.Record(&run)
+	o.Record(&run)
+	if got := o.Counters().Get("sim.events"); got != 20 {
+		t.Errorf("accumulated = %d, want 20", got)
+	}
+
+	traced := New(WithTracing())
+	if traced.Tracer() == nil {
+		t.Fatal("WithTracing must enable the tracer")
+	}
+	var sb strings.Builder
+	if err := o.WriteTrace(&sb); err == nil {
+		t.Error("WriteTrace without tracing must error")
+	}
+}
+
+func TestTracerSpanFiltering(t *testing.T) {
+	tr := NewTracer()
+	tr.Span("p", "t", "ok", sim.Time(100), sim.Time(200))
+	tr.Span("p", "t", "zero", sim.Time(100), sim.Time(100))
+	tr.Span("p", "t", "backwards", sim.Time(200), sim.Time(100))
+	if tr.Len() != 1 {
+		t.Fatalf("recorded %d spans, want 1 (zero/negative width dropped)", tr.Len())
+	}
+	if e := tr.Events()[0]; e.Name != "ok" {
+		t.Errorf("kept span = %q, want ok", e.Name)
+	}
+	tr.Reset()
+	if tr.Len() != 0 {
+		t.Error("Reset must drop spans")
+	}
+}
+
+// TestChromeTraceGolden pins the exact export bytes for a small trace
+// (determinism guarantee: identical runs produce byte-identical traces)
+// and checks the output is valid JSON in the Chrome trace shape.
+func TestChromeTraceGolden(t *testing.T) {
+	tr := NewTracer()
+	tr.Span("pram.ch0", "pkg0", "read", sim.Time(1_000), sim.Time(61_000))
+	tr.Span("pram.ch0", "pkg1", "read", sim.Time(21_000), sim.Time(81_000))
+	tr.Span("pram.ch0", "pkg0", "program", sim.Time(90_000), sim.Time(1_090_000))
+	tr.Span("accel", "pe0", "kernel", sim.Time(0), sim.Time(2_000_000))
+	tr.Span("system", "run", "load", sim.Time(0), sim.Time(500_000))
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Ph   string  `json:"ph"`
+			Pid  int     `json:"pid"`
+			Tid  int     `json:"tid"`
+			Name string  `json:"name"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, buf.String())
+	}
+	var meta, complete int
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "M":
+			meta++
+		case "X":
+			complete++
+			if e.Dur <= 0 {
+				t.Errorf("span %q has non-positive dur %g", e.Name, e.Dur)
+			}
+		default:
+			t.Errorf("unexpected event phase %q", e.Ph)
+		}
+	}
+	if complete != 5 {
+		t.Errorf("%d X events, want 5", complete)
+	}
+	// 3 processes + 4 distinct (proc, track) pairs.
+	if meta != 7 {
+		t.Errorf("%d M events, want 7", meta)
+	}
+
+	golden := filepath.Join("testdata", "chrome_trace.golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("golden file missing (run go test ./internal/obs -update): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("export differs from golden file\n got: %s\nwant: %s", buf.Bytes(), want)
+	}
+
+	// Re-export must be byte-identical.
+	var again bytes.Buffer
+	if err := tr.WriteChromeJSON(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Error("repeated exports of the same trace differ")
+	}
+}
+
+// TestNilObserverAllocationFree pins the disabled-observer hot paths at
+// zero allocations: threading a nil Observer/Tracer/Counters through
+// instrumented code must cost nothing (ISSUE 3 acceptance criterion;
+// companion to the PR 2 datapath pins in internal/mem).
+func TestNilObserverAllocationFree(t *testing.T) {
+	var o *Observer
+	allocs := testing.AllocsPerRun(200, func() {
+		tr := o.Tracer()
+		tr.Span("pram.ch0", "pkg0", "read", 0, sim.Time(100))
+		o.Counters().Add("memctrl.reads", 1)
+		o.Record(nil)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-observer path allocates %.1f objects per call, want 0", allocs)
+	}
+}

@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+
+	"dramless/internal/sim"
+)
+
+// TraceEvent is one completed simulated-time span. Proc groups spans
+// into a Chrome trace "process" row (a subsystem: "pram.ch0", "accel");
+// Track is the "thread" within it (a package or PE: "pkg2", "pe5").
+type TraceEvent struct {
+	Proc  string
+	Track string
+	Name  string
+	Start sim.Time
+	End   sim.Time
+}
+
+// Tracer records simulated-time spans. The zero value of *Tracer (nil)
+// is the disabled tracer: Span returns immediately, so instrumented
+// model code needs no enabled-check of its own. Enabled tracers append
+// in call order, which under the single-goroutine event engine is the
+// deterministic dispatch order.
+type Tracer struct {
+	events []TraceEvent
+}
+
+// NewTracer returns an enabled span recorder.
+func NewTracer() *Tracer {
+	return &Tracer{events: make([]TraceEvent, 0, 1024)}
+}
+
+// Enabled reports whether spans will be recorded.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Span records one completed span. Nil-safe; spans with end <= start are
+// dropped (zero-width spans render as noise in the Chrome viewer).
+func (t *Tracer) Span(proc, track, name string, start, end sim.Time) {
+	if t == nil || end <= start {
+		return
+	}
+	t.events = append(t.events, TraceEvent{Proc: proc, Track: track, Name: name, Start: start, End: end})
+}
+
+// Len returns the number of recorded spans (0 for the nil tracer).
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.events)
+}
+
+// Events returns the recorded spans in recording order. The slice is
+// shared; callers must not mutate it.
+func (t *Tracer) Events() []TraceEvent {
+	if t == nil {
+		return nil
+	}
+	return t.events
+}
+
+// Reset drops all recorded spans, keeping capacity.
+func (t *Tracer) Reset() {
+	if t != nil {
+		t.events = t.events[:0]
+	}
+}
+
+// tsMicros converts a sim.Time (picoseconds) to the microsecond float
+// timestamps the Chrome trace format expects. Formatted with %.6f it
+// preserves picosecond resolution exactly, keeping exports byte-identical
+// across runs.
+func tsMicros(t sim.Time) float64 {
+	return float64(t) / 1e6
+}
+
+// WriteChromeJSON exports the recorded spans in the Chrome trace event
+// format (load in chrome://tracing or https://ui.perfetto.dev). Each
+// distinct Proc becomes a process with a stable pid in first-seen order,
+// each (Proc, Track) a thread within it; spans emit as "X" complete
+// events with ts/dur in microseconds of simulated time.
+func (t *Tracer) WriteChromeJSON(w io.Writer) error {
+	if t == nil {
+		return fmt.Errorf("obs: tracing is disabled (nil tracer)")
+	}
+	bw := bufio.NewWriter(w)
+
+	type trackKey struct{ proc, track string }
+	pids := map[string]int{}
+	var procs []string
+	tids := map[trackKey]int{}
+	var tracks []trackKey
+	for _, e := range t.events {
+		if _, ok := pids[e.Proc]; !ok {
+			pids[e.Proc] = len(procs) + 1
+			procs = append(procs, e.Proc)
+		}
+		k := trackKey{e.Proc, e.Track}
+		if _, ok := tids[k]; !ok {
+			tids[k] = 0 // assigned per-process below
+			tracks = append(tracks, k)
+		}
+	}
+	// Number threads within each process in first-seen order.
+	perProc := map[string]int{}
+	for _, k := range tracks {
+		perProc[k.proc]++
+		tids[k] = perProc[k.proc]
+	}
+
+	fmt.Fprintf(bw, "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[")
+	first := true
+	emit := func(format string, args ...any) {
+		if !first {
+			bw.WriteString(",")
+		}
+		first = false
+		bw.WriteString("\n")
+		fmt.Fprintf(bw, format, args...)
+	}
+	for _, p := range procs {
+		emit(`{"ph":"M","pid":%d,"name":"process_name","args":{"name":%q}}`, pids[p], p)
+	}
+	// Sort metadata by (pid, tid) so the export is stable even if track
+	// first-use order ever differs from span order.
+	sort.SliceStable(tracks, func(i, j int) bool {
+		if pids[tracks[i].proc] != pids[tracks[j].proc] {
+			return pids[tracks[i].proc] < pids[tracks[j].proc]
+		}
+		return tids[tracks[i]] < tids[tracks[j]]
+	})
+	for _, k := range tracks {
+		emit(`{"ph":"M","pid":%d,"tid":%d,"name":"thread_name","args":{"name":%q}}`, pids[k.proc], tids[k], k.track)
+	}
+	for _, e := range t.events {
+		emit(`{"ph":"X","pid":%d,"tid":%d,"name":%q,"ts":%.6f,"dur":%.6f}`,
+			pids[e.Proc], tids[trackKey{e.Proc, e.Track}], e.Name,
+			tsMicros(e.Start), tsMicros(e.End-e.Start))
+	}
+	bw.WriteString("\n]}\n")
+	return bw.Flush()
+}

@@ -8,6 +8,7 @@ package pcie
 import (
 	"fmt"
 
+	"dramless/internal/obs"
 	"dramless/internal/sim"
 )
 
@@ -106,6 +107,18 @@ func (l *Link) Message(at sim.Time) sim.Time {
 
 // Stats returns (DMA count, payload bytes moved).
 func (l *Link) Stats() (dmas, bytes int64) { return l.dmas, l.bytesMoved }
+
+// CountersInto writes the link's activity into the registry under the
+// link's configured name ("pcie.accel.dmas", ...).
+func (l *Link) CountersInto(c *obs.Counters) {
+	if c == nil {
+		return
+	}
+	p := l.cfg.Name + "."
+	c.Add(p+"dmas", l.dmas)
+	c.Add(p+"bytes", l.bytesMoved)
+	c.Add(p+"busy_ps", int64(l.BusyTime()))
+}
 
 // BusyTime returns cumulative wire occupancy, for energy accounting.
 func (l *Link) BusyTime() sim.Duration { return l.wire.BusyTime() }

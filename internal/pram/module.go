@@ -21,6 +21,7 @@ type Stats struct {
 	BytesRead    int64
 	BytesWritten int64
 	ProgramTime  sim.Duration // cumulative array program time
+	Pauses       int64        // programs preempted by reads (write pausing)
 }
 
 // Module is one multi-partition PRAM package on an LPDDR2-NVM channel.
@@ -152,7 +153,11 @@ func (m *Module) Geometry() Geometry { return m.geo }
 func (m *Module) Params() lpddr.Params { return m.par }
 
 // Stats returns a snapshot of the activity counters.
-func (m *Module) Stats() Stats { return m.stats }
+func (m *Module) Stats() Stats {
+	s := m.stats
+	s.Pauses = m.pauses
+	return s
+}
 
 // OWBA returns the current overlay window base address.
 func (m *Module) OWBA() uint64 { return m.ow.base }

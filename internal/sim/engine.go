@@ -46,10 +46,11 @@ func (h *eventHeap) Pop() any {
 // Engine is not safe for concurrent use: the whole simulation runs on one
 // goroutine, which is what makes it deterministic.
 type Engine struct {
-	now    Time
-	queue  eventHeap
-	nextID int64
-	ran    int64
+	now      Time
+	queue    eventHeap
+	nextID   int64
+	ran      int64
+	recycled int64 // Schedule calls served from the free list
 
 	// free is the event free-list: dispatched and cancelled events are
 	// recycled by the next Schedule, so a steady-state simulation stops
@@ -70,6 +71,11 @@ func (e *Engine) Now() Time { return e.now }
 // Processed returns how many events have been dispatched so far.
 func (e *Engine) Processed() int64 { return e.ran }
 
+// Recycled returns how many Schedule calls reused a free-list Event
+// instead of allocating — the observability counter that watches the PR 2
+// zero-allocation event pool staying effective.
+func (e *Engine) Recycled() int64 { return e.recycled }
+
 // Pending returns how many events are waiting in the queue.
 func (e *Engine) Pending() int { return len(e.queue) }
 
@@ -84,6 +90,7 @@ func (e *Engine) Schedule(at Time, fn func(now Time)) *Event {
 		ev = e.free[n-1]
 		e.free = e.free[:n-1]
 		ev.At, ev.Fn, ev.seq = at, fn, e.nextID
+		e.recycled++
 	} else {
 		ev = &Event{At: at, Fn: fn, seq: e.nextID}
 	}

@@ -5,6 +5,7 @@ import (
 
 	"dramless/internal/flash"
 	"dramless/internal/mem"
+	"dramless/internal/obs"
 	"dramless/internal/sim"
 )
 
@@ -177,6 +178,27 @@ func (s *SSD) Stats() Stats {
 
 // ArrayStats exposes the medium counters for the energy model.
 func (s *SSD) ArrayStats() flash.Stats { return s.arr.Stats() }
+
+// CountersInto writes the SSD's activity into the registry under prefix
+// (e.g. "ssd.ext."): request and buffer counters plus the FTL's
+// firmware-request and garbage-collection work.
+func (s *SSD) CountersInto(c *obs.Counters, prefix string) {
+	if c == nil {
+		return
+	}
+	st := s.Stats()
+	c.Add(prefix+"reads", st.Reads)
+	c.Add(prefix+"writes", st.Writes)
+	c.Add(prefix+"buffer_hits", st.BufferHits)
+	c.Add(prefix+"buffer_misses", st.BufferMisses)
+	c.Add(prefix+"fills", st.Fills)
+	c.Add(prefix+"flushes", st.Flushes)
+	c.Add(prefix+"ftl.gc_runs", st.GCRuns)
+	c.Add(prefix+"ftl.gc_moves", st.GCMoves)
+	c.Add(prefix+"fw_requests", s.fw.Requests())
+	c.Add(prefix+"fw_busy_ps", int64(s.fw.BusyTime()))
+	c.Add(prefix+"dram_bytes", s.DRAMBytes())
+}
 
 // FirmwareBusy returns cumulative firmware-core time (energy model).
 func (s *SSD) FirmwareBusy() sim.Duration { return s.fw.BusyTime() }

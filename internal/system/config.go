@@ -12,6 +12,7 @@ import (
 	"dramless/internal/energy"
 	"dramless/internal/hostsw"
 	"dramless/internal/memctrl"
+	"dramless/internal/obs"
 	"dramless/internal/pcie"
 	"dramless/internal/sim"
 	"dramless/internal/ssd"
@@ -184,6 +185,13 @@ type Config struct {
 	Firmware ssd.FirmwareConfig
 	// Link is the PCIe slot configuration.
 	Link pcie.LinkConfig
+	// Obs attaches the observability layer to the whole build: the
+	// run's counters merge into its registry, and with tracing enabled
+	// every subsystem records simulated-time spans. A pointer so Config
+	// stays comparable (it is the experiment engine's cache key); nil
+	// disables observation at zero cost. Observers are single-run state:
+	// do not share one across concurrently executing runs.
+	Obs *obs.Observer
 }
 
 // DefaultConfig returns a runnable configuration of the given kind.

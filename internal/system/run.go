@@ -10,6 +10,7 @@ import (
 	"dramless/internal/kernel"
 	"dramless/internal/mem"
 	"dramless/internal/memctrl"
+	"dramless/internal/obs"
 	"dramless/internal/pcie"
 	"dramless/internal/sim"
 	"dramless/internal/ssd"
@@ -46,6 +47,12 @@ type Result struct {
 
 	// Report is the kernel-phase execution report (IPC series, spans).
 	Report *accel.Report
+
+	// Counters is the run's observability registry: every subsystem's
+	// activity snapshot, collected at end of run in fixed order. Always
+	// populated (collection has no hot-path cost), so identical runs
+	// yield identical registries whether or not an Observer is attached.
+	Counters obs.Counters
 
 	// Footprint is the processed data volume.
 	Footprint int64
@@ -132,6 +139,7 @@ func newBuild(cfg Config) (*build, error) {
 		mcCfg := memctrl.DefaultConfig(s)
 		mcCfg.Geometry.RowsPerModule = cfg.PRAMRowsPerModule
 		mcCfg.Wear = cfg.Wear
+		mcCfg.Obs = cfg.Obs
 		return memctrl.New(mcCfg)
 	}
 	mkSSD := func(media flash.Profile, integrated bool, fw ssd.FirmwareConfig) (*ssd.SSD, error) {
@@ -205,10 +213,36 @@ func newBuild(cfg Config) (*build, error) {
 
 	acfg := cfg.Accel
 	acfg.SampleInterval = cfg.SampleInterval
+	acfg.Obs = cfg.Obs
 	if b.acc, err = accel.New(acfg, b.backend); err != nil {
 		return nil, err
 	}
 	return b, nil
+}
+
+// collectCounters snapshots every built component into one registry, in
+// fixed code order so identical runs register identical entry sequences.
+func (b *build) collectCounters(rep *accel.Report, c *obs.Counters) {
+	rep.CountersInto(c)
+	b.acc.CountersInto(c)
+	if b.sub != nil {
+		b.sub.CountersInto(c)
+	}
+	if b.extSSD != nil {
+		b.extSSD.CountersInto(c, "ssd.ext.")
+	}
+	if b.intSSD != nil {
+		b.intSSD.CountersInto(c, "ssd.int.")
+	}
+	if b.dram != nil {
+		reads, writes, bytesIn, bytesOut := b.dram.Traffic()
+		c.Add("dram.reads", reads)
+		c.Add("dram.writes", writes)
+		c.Add("dram.bytes_written", bytesIn)
+		c.Add("dram.bytes_read", bytesOut)
+	}
+	b.accLink.CountersInto(c)
+	b.ssdLink.CountersInto(c)
 }
 
 // populate places input data in the persistent store before measurement
@@ -352,6 +386,14 @@ func Run(cfg Config, k workload.Kernel) (*Result, error) {
 	res.Time.Add(TimeStore, (storeEnd - kernelEnd).Seconds())
 
 	res.Energy = b.accountEnergy(snap, rep, runStart, loadEnd, kernelEnd, storeEnd)
+
+	b.collectCounters(rep, &res.Counters)
+	if tr := cfg.Obs.Tracer(); tr.Enabled() {
+		tr.Span("system", "run", TimeLoad, runStart, loadEnd)
+		tr.Span("system", "run", "kernel", loadEnd, kernelEnd)
+		tr.Span("system", "run", TimeStore, kernelEnd, storeEnd)
+	}
+	cfg.Obs.Record(&res.Counters)
 	return res, nil
 }
 
