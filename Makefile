@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-json profile trace vet fmt-check ci verify
+.PHONY: build test race bench bench-json bench-compare profile trace vet fmt-check ci ci-full verify
 
 build:
 	$(GO) build ./...
@@ -28,6 +28,14 @@ bench:
 bench-json:
 	$(GO) test -run '^$$' -bench '^(BenchmarkAllExperiments|BenchmarkFig|BenchmarkTable|BenchmarkSec5)' \
 		-benchmem -benchtime 1x . | $(GO) run ./tools/benchjson -out BENCH_suite.json
+
+# Perf regression gate: rerun the suite benchmarks and diff ns/op against
+# the committed BENCH_suite.json; fails when any benchmark slowed down by
+# more than 10%. Single-shot timings are noisy, so this is an optional CI
+# target (ci-full), not part of the default `make ci` gate.
+bench-compare:
+	$(GO) test -run '^$$' -bench '^(BenchmarkAllExperiments|BenchmarkFig|BenchmarkTable|BenchmarkSec5)' \
+		-benchmem -benchtime 1x . | $(GO) run ./tools/benchjson -compare BENCH_suite.json
 
 # CPU + heap profiles of the Figure 15 sweep (the allocation-heaviest
 # experiment) into ./prof/; inspect with `go tool pprof prof/fig15.cpu`.
@@ -55,5 +63,8 @@ fmt-check:
 # Pre-merge gate: everything a PR must pass before landing - build,
 # tests, race detector, go vet and gofmt. `make verify` is its alias.
 ci: test race vet fmt-check
+
+# ci plus the perf regression gate against the committed baseline.
+ci-full: ci bench-compare
 
 verify: ci

@@ -15,6 +15,7 @@ package dramless_test
 import (
 	"bytes"
 	"fmt"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -70,13 +71,26 @@ func fastOpts() dramless.ExperimentOptions { return dramless.FastExperiments() }
 // track across PRs. The parallel variant uses the same cross-experiment
 // result cache, so the serial/parallel ratio isolates the worker pool's
 // contribution; sims/cache-hits metrics expose the dedup itself.
+//
+// Worker counts are pinned explicitly: Parallelism=0 means GOMAXPROCS,
+// which on a single-CPU runner silently degenerates to one worker - the
+// committed BENCH_suite.json once recorded "parallel" with workers=1,
+// making the serial/parallel comparison a no-op. The parallel variant
+// therefore asks for at least two workers (the pool is not clamped to
+// the CPU count, so this exercises real pool scheduling even when it
+// cannot speed anything up) and fails loudly if the runner reports a
+// different worker count than requested.
 func BenchmarkAllExperiments(b *testing.B) {
+	parallel := runtime.GOMAXPROCS(0)
+	if parallel < 2 {
+		parallel = 2
+	}
 	for _, bc := range []struct {
 		name string
 		par  int
 	}{
 		{"serial", 1},
-		{"parallel", 0}, // GOMAXPROCS workers
+		{"parallel", parallel},
 	} {
 		b.Run(bc.name, func(b *testing.B) {
 			o := fastOpts()
@@ -92,6 +106,12 @@ func BenchmarkAllExperiments(b *testing.B) {
 					b.Fatalf("got %d tables, want %d", len(tabs), len(dramless.ExperimentIDs()))
 				}
 				st = eng.Stats()
+			}
+			if st.Workers != bc.par {
+				b.Fatalf("engine ran with %d workers, requested %d", st.Workers, bc.par)
+			}
+			if bc.name == "parallel" && st.Workers < 2 {
+				b.Fatalf("parallel variant degenerated to %d worker(s)", st.Workers)
 			}
 			b.ReportMetric(float64(st.Runs), "sims")
 			b.ReportMetric(float64(st.Hits), "cache-hits")

@@ -278,9 +278,11 @@ type Report struct {
 	Instrs  int64
 	Compute sim.Duration // summed over agents
 	Stall   sim.Duration
-	// Events / EventsRecycled are the simulation engine's dispatch and
-	// free-list reuse counts for this run (observability: the PR 2 event
-	// pool staying effective).
+	// Events counts interleave steps dispatched for this run; with the
+	// batched front-end one step covers a whole coalesced run, so the
+	// count shrinking is the coalescer working. EventsRecycled is the
+	// engine free-list reuse count where an event engine is involved
+	// (the PE interleave no longer is).
 	Events         int64
 	EventsRecycled int64
 }
@@ -336,37 +338,38 @@ func (r *Report) TotalIPC(clockHz float64) float64 {
 	return float64(r.Instrs) / cycles
 }
 
-// runAll interleaves the PEs' execution in simulated-time order on the
-// discrete-event engine: each step is an event at the core's local time,
-// and every step reschedules the core at its new time. Shared resources
-// (MCU, crossbar, backend) therefore see requests in a globally causal
-// arrival order.
+// runAll interleaves the PEs' execution in simulated-time order: every
+// iteration steps the core with the smallest local clock, so shared
+// resources (MCU, crossbar, backend) see requests in a globally causal
+// arrival order. Equal clocks break by core ID - an explicit rule rather
+// than event-schedule order, because the batched front-end covers a
+// variable number of ops per step and schedule-order ties would make the
+// interleave (and therefore shared-path timing) depend on whether runs
+// were folded. With the tie-break pinned, the batched and unbatched
+// executions are time-identical.
 func runAll(pes []*pe.PE) (processed, recycled int64, err error) {
-	eng := sim.NewEngine()
-	var failure error
-	for _, c := range pes {
-		// One persistent closure per core, rescheduled for every step; the
-		// old per-step closure was a dominant allocation source (one
-		// closure per simulated instruction across the whole suite).
-		core := c
-		var step func(sim.Time)
-		step = func(sim.Time) {
-			if failure != nil {
-				return
-			}
-			ok, err := core.Step()
-			if err != nil {
-				failure = err
-				return
-			}
-			if ok {
-				eng.Schedule(core.Now(), step)
+	active := make([]*pe.PE, len(pes))
+	copy(active, pes)
+	for len(active) > 0 {
+		best := 0
+		for i := 1; i < len(active); i++ {
+			if active[i].Now() < active[best].Now() ||
+				(active[i].Now() == active[best].Now() && active[i].ID < active[best].ID) {
+				best = i
 			}
 		}
-		eng.Schedule(core.Now(), step)
+		core := active[best]
+		ok, err := core.Step()
+		processed++
+		if err != nil {
+			return processed, recycled, err
+		}
+		if !ok {
+			active[best] = active[len(active)-1]
+			active = active[:len(active)-1]
+		}
 	}
-	eng.Run()
-	return eng.Processed(), eng.Recycled(), failure
+	return processed, recycled, nil
 }
 
 // RunKernel executes kernel k with params p across the agents, starting
@@ -478,6 +481,10 @@ func (a *Accelerator) RunKernel(start sim.Time, k workload.Kernel, p workload.Pa
 				}
 			}
 		}
+		// Stats are snapshotted; recycle the line storage for the next
+		// kernel's cache build.
+		l1s[i].Release()
+		l2s[i].Release()
 		end = sim.Max(end, d)
 	}
 	rep.End = mem.DrainOf(a.backend, end)

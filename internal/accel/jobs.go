@@ -262,6 +262,9 @@ func (a *Accelerator) collectReport(runners []*jobRunner) (*Report, error) {
 		if fullStart < start {
 			start = fullStart
 		}
+		// Stats are snapshotted; recycle the line storage.
+		r.l1.Release()
+		r.l2.Release()
 		end = sim.Max(end, d)
 	}
 	rep.Start = start

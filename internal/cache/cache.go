@@ -8,6 +8,7 @@ package cache
 
 import (
 	"fmt"
+	"sync"
 
 	"dramless/internal/mem"
 	"dramless/internal/obs"
@@ -100,8 +101,33 @@ type Cache struct {
 	lower   mem.Device
 	sets    [][]line
 	slab    []byte // one backing array for every line's data
+	store   *storage
 	tick    int64
 	stats   Stats
+}
+
+// storage is a cache's construction-time storage, recycled across
+// instances via Release: the experiment engine rebuilds every PE's L1/L2
+// for each system x kernel cell, and allocating (and zeroing, and
+// GC-scanning) megabytes of line arrays per cell dominated the suite's
+// wall clock once the datapath itself stopped allocating.
+type storage struct {
+	slab  []byte
+	lines []line
+	sets  [][]line
+}
+
+// storagePools recycles storage per cache shape (size, line, ways), so a
+// Get always fits exactly.
+var storagePools sync.Map // [3]int -> *sync.Pool
+
+func storagePool(cfg Config) *sync.Pool {
+	key := [3]int{cfg.SizeBytes, cfg.LineBytes, cfg.Ways}
+	if p, ok := storagePools.Load(key); ok {
+		return p.(*sync.Pool)
+	}
+	p, _ := storagePools.LoadOrStore(key, &sync.Pool{})
+	return p.(*sync.Pool)
 }
 
 var (
@@ -122,23 +148,47 @@ func New(cfg Config, lower mem.Device) (*Cache, error) {
 		return nil, fmt.Errorf("cache %s: nil lower level", cfg.Name)
 	}
 	nsets := cfg.SizeBytes / (cfg.LineBytes * cfg.Ways)
+	pool := storagePool(cfg)
+	st, _ := pool.Get().(*storage)
+	if st == nil {
+		st = &storage{
+			slab:  make([]byte, cfg.SizeBytes),
+			lines: make([]line, nsets*cfg.Ways),
+			sets:  make([][]line, nsets),
+		}
+	}
 	c := &Cache{
 		cfg:     cfg,
 		errName: "cache " + cfg.Name,
 		lower:   lower,
-		sets:    make([][]line, nsets),
-		slab:    make([]byte, cfg.SizeBytes),
+		sets:    st.sets,
+		slab:    st.slab,
+		store:   st,
 	}
-	lines := make([]line, nsets*cfg.Ways)
 	for i := range c.sets {
-		ways := lines[i*cfg.Ways : (i+1)*cfg.Ways : (i+1)*cfg.Ways]
+		ways := st.lines[i*cfg.Ways : (i+1)*cfg.Ways : (i+1)*cfg.Ways]
 		for w := range ways {
 			base := (i*cfg.Ways + w) * cfg.LineBytes
-			ways[w].data = c.slab[base : base+cfg.LineBytes : base+cfg.LineBytes]
+			// Full line reset: recycled storage carries stale tags and
+			// valid bits (stale slab bytes are unobservable - every line
+			// is refilled from below before its first copy-out).
+			ways[w] = line{data: c.slab[base : base+cfg.LineBytes : base+cfg.LineBytes]}
 		}
 		c.sets[i] = ways
 	}
 	return c, nil
+}
+
+// Release returns the cache's line storage to the construction pool. The
+// cache must not be used afterwards; callers that rebuild cache
+// hierarchies per run (the accelerator) call it once stats have been
+// snapshotted.
+func (c *Cache) Release() {
+	if c.store == nil {
+		return
+	}
+	storagePool(c.cfg).Put(c.store)
+	c.store, c.sets, c.slab = nil, nil, nil
 }
 
 // MustNew is New for known-good configurations.
@@ -172,8 +222,10 @@ func (c *Cache) lineBase(set int, tag uint64) uint64 {
 
 // lookup returns the way holding (set, tag) or -1.
 func (c *Cache) lookup(set int, tag uint64) int {
-	for w := range c.sets[set] {
-		if c.sets[set][w].valid && c.sets[set][w].tag == tag {
+	ways := c.sets[set]
+	for w := range ways {
+		ln := &ways[w]
+		if ln.valid && ln.tag == tag {
 			return w
 		}
 	}
@@ -324,3 +376,136 @@ func (c *Cache) Flush(at sim.Time) (done sim.Time, err error) {
 
 // Drain implements mem.Drainer by delegating to the lower level.
 func (c *Cache) Drain() sim.Time { return mem.DrainOf(c.lower, 0) }
+
+var _ mem.Batcher = (*Cache)(nil)
+
+// wouldHit reports whether [addr, addr+n) is resident within a single
+// line right now, without touching LRU state or counters.
+func (c *Cache) wouldHit(addr uint64, n int) bool {
+	set, tag, off := c.index(addr)
+	if off+n > c.cfg.LineBytes {
+		return false
+	}
+	return c.lookup(set, tag) >= 0
+}
+
+// privateMiss reports whether a miss on (set, tag) would be serviced
+// entirely by a lower private *Cache: both the fill and any dirty
+// victim's writeback hit there. The probe is exact - hit-path execution
+// in the lower cache never evicts, so residency observed here still
+// holds when the miss runs - and conservatively false when the lower
+// level is not a Cache (it may be a shared path whose call order across
+// cores matters).
+func (c *Cache) privateMiss(set int, tag uint64) bool {
+	lower, ok := c.lower.(*Cache)
+	if !ok {
+		return false
+	}
+	if ln := &c.sets[set][c.victim(set)]; ln.valid && ln.dirty {
+		if !lower.wouldHit(c.lineBase(set, ln.tag), c.cfg.LineBytes) {
+			return false
+		}
+	}
+	return lower.wouldHit(c.lineBase(set, tag), c.cfg.LineBytes)
+}
+
+// ReadRun implements mem.BatchReader: it services leading accesses of r
+// while each one stays private - a single-line hit here, or a miss whose
+// fill and writeback both hit in a lower private cache (privateMiss) -
+// and stops before the first access that would reach a shared lower
+// level, leaving it for the caller's scalar path. Stats, LRU state and
+// timing advance exactly as the per-op loop would; the only shortcut is
+// that hit accesses defer their copy-out, since dst only exposes the
+// last completed access's bytes.
+func (c *Cache) ReadRun(now sim.Time, r mem.Run, dst []byte) (mem.RunResult, error) {
+	res := mem.RunResult{Now: now}
+	addr := r.Addr
+	var pend []byte // line bytes of the last hit, copy-out deferred
+	for res.Done < r.Count {
+		set, tag, lo := c.index(addr)
+		if lo+r.Size > c.cfg.LineBytes {
+			break
+		}
+		start := res.Now + r.Gap
+		var done sim.Time
+		if w := c.lookup(set, tag); w >= 0 {
+			// Hit fast path: same stats/LRU effects as fill's hit arm.
+			c.stats.Hits++
+			c.tick++
+			ln := &c.sets[set][w]
+			ln.lastUse = c.tick
+			pend = ln.data[lo : lo+r.Size]
+			done = start + c.cfg.HitLatency
+		} else {
+			if !c.privateMiss(set, tag) {
+				break
+			}
+			// A fill may overwrite the pending line's slab storage
+			// (eviction reuses it); settle the deferred copy first.
+			if pend != nil {
+				copy(dst[:r.Size], pend)
+				pend = nil
+			}
+			var err error
+			done, err = c.ReadInto(start, addr, dst[:r.Size])
+			if err != nil {
+				return res, err
+			}
+		}
+		if done < start {
+			done = start
+		}
+		end := sim.Max(done, start+r.Issue)
+		res.Stall += end - start
+		res.Now = end
+		res.Done++
+		addr = uint64(int64(addr) + r.Stride)
+	}
+	if pend != nil {
+		copy(dst[:r.Size], pend)
+	}
+	return res, nil
+}
+
+// WriteRun implements mem.BatchWriter with the same private-prefix
+// semantics as ReadRun (write-allocate shares the fill path); every
+// store's bytes must land in its line, so nothing is deferred.
+func (c *Cache) WriteRun(now sim.Time, r mem.Run, src []byte) (mem.RunResult, error) {
+	res := mem.RunResult{Now: now}
+	addr := r.Addr
+	for res.Done < r.Count {
+		set, tag, lo := c.index(addr)
+		if lo+r.Size > c.cfg.LineBytes {
+			break
+		}
+		start := res.Now + r.Gap
+		var done sim.Time
+		if w := c.lookup(set, tag); w >= 0 {
+			c.stats.Hits++
+			c.tick++
+			ln := &c.sets[set][w]
+			ln.lastUse = c.tick
+			copy(ln.data[lo:lo+r.Size], src[:r.Size])
+			ln.dirty = true
+			done = start + c.cfg.HitLatency
+		} else {
+			if !c.privateMiss(set, tag) {
+				break
+			}
+			var err error
+			done, err = c.Write(start, addr, src[:r.Size])
+			if err != nil {
+				return res, err
+			}
+		}
+		if done < start {
+			done = start
+		}
+		end := sim.Max(done, start+r.Issue)
+		res.Stall += end - start
+		res.Now = end
+		res.Done++
+		addr = uint64(int64(addr) + r.Stride)
+	}
+	return res, nil
+}

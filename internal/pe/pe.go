@@ -31,6 +31,11 @@ type Config struct {
 	// floating-point multiply/add". Without them the multiply units sit
 	// idle and sustained IPC halves.
 	DSPIntrinsics bool
+	// Unbatched disables the run-coalescing front-end and executes the op
+	// stream strictly one op per Step. The batched path is byte- and
+	// timing-equivalent (the equivalence tests assert it); this switch
+	// exists as the reference baseline and an escape hatch.
+	Unbatched bool
 }
 
 // Default returns the TMS320C6678-like core with the paper's
@@ -69,8 +74,23 @@ type PE struct {
 	ID  int
 	cfg Config
 
-	memory mem.Device
-	stream workload.Stream
+	memory  mem.Device
+	batcher mem.Batcher // non-nil when memory has a batched fast path
+	stream  workload.Stream
+	batches workload.BatchStream // non-nil unless cfg.Unbatched
+
+	clock  sim.Clock
+	issue  sim.Duration // one issue slot at the core clock
+	ipcEff float64
+
+	// One-entry durOf memo: a stream has very few distinct compute
+	// stretches (the kernel's per-chunk count), and the float division
+	// per op showed up in suite profiles.
+	memoCompute int64
+	memoDur     sim.Duration
+
+	batch workload.Batch // current coalesced run
+	bpos  int            // ops of the run already executed
 
 	now     sim.Time
 	instrs  int64
@@ -92,7 +112,18 @@ func New(id int, cfg Config, memory mem.Device, stream workload.Stream, start si
 	if memory == nil || stream == nil {
 		return nil, fmt.Errorf("pe %d: nil memory or stream", id)
 	}
-	return &PE{ID: id, cfg: cfg, memory: memory, stream: stream, now: start}, nil
+	p := &PE{
+		ID: id, cfg: cfg, memory: memory, stream: stream, now: start,
+		clock:       sim.NewClock(cfg.ClockHz),
+		ipcEff:      cfg.effectiveIPC(),
+		memoCompute: -1,
+	}
+	p.issue = p.clock.Cycles(1)
+	if !cfg.Unbatched {
+		p.batches = workload.Coalesce(stream)
+		p.batcher, _ = memory.(mem.Batcher)
+	}
+	return p, nil
 }
 
 // SampleIPC enables instruction sampling with the given bucket interval.
@@ -119,25 +150,126 @@ func (p *PE) StallTime() sim.Duration { return p.stall }
 // IPCSeries returns the sampled instruction series or nil.
 func (p *PE) IPCSeries() *stats.Series { return p.ipc }
 
-// Step executes the next operation. It reports false once the stream is
-// exhausted.
+// durOf returns the execution time of a compute stretch.
+func (p *PE) durOf(compute int64) sim.Duration {
+	if compute == p.memoCompute {
+		return p.memoDur
+	}
+	cycles := int64(float64(compute)/p.ipcEff + 0.5)
+	if cycles < 1 {
+		cycles = 1
+	}
+	p.memoCompute, p.memoDur = compute, p.clock.Cycles(cycles)
+	return p.memoDur
+}
+
+// Step executes the next operation and, on the batched front-end, folds
+// the rest of the current coalesced run into the same call while it
+// stays on the memory device's private fast path. It reports false once
+// the stream is exhausted.
+//
+// Folding preserves the multi-core interleaving contract of the event
+// engine: only the first op of a call may touch shared state (its start
+// time equals the event time, exactly as in the scalar path); every
+// subsequent op executes only while the device bounds it to core-private
+// state (cache ReadRun/WriteRun), so its global execution order cannot
+// matter. When the run's next access would leave the private path, Step
+// returns with the PE's clock at that access's start time and the caller
+// reschedules - the access then runs scalar, in its own event, at the
+// same simulated time as in the unbatched execution.
 func (p *PE) Step() (bool, error) {
 	if p.done {
 		return false, nil
 	}
-	op, ok := p.stream.Next()
-	if !ok {
-		p.done = true
-		return false, nil
-	}
-	clock := sim.NewClock(p.cfg.ClockHz)
-
-	if op.Compute > 0 {
-		cycles := int64(float64(op.Compute)/p.cfg.effectiveIPC() + 0.5)
-		if cycles < 1 {
-			cycles = 1
+	if p.batches == nil {
+		op, ok := p.stream.Next()
+		if !ok {
+			p.done = true
+			return false, nil
 		}
-		dur := clock.Cycles(cycles)
+		return true, p.exec(op)
+	}
+	executed := false
+	for {
+		if p.bpos >= p.batch.Count {
+			b, ok := p.batches.NextBatch()
+			if !ok {
+				p.done = true
+				return executed, nil
+			}
+			p.batch, p.bpos = b, 0
+		}
+		rest := p.batch.Count - p.bpos
+		op := p.batch.At(p.bpos)
+		if !executed {
+			if err := p.exec(op); err != nil {
+				return false, err
+			}
+			p.bpos++
+			executed = true
+			continue
+		}
+		// Sampled runs never fold: per-op spans and IPC buckets must match
+		// the scalar path bucket for bucket.
+		if p.ipc != nil || p.onSpan != nil {
+			return true, nil
+		}
+		if op.Size == 0 {
+			// Compute-only run: closed form, exact in integer picoseconds.
+			if op.Compute > 0 {
+				dur := p.durOf(op.Compute)
+				p.now += sim.Duration(rest) * dur
+				p.compute += sim.Duration(rest) * dur
+				p.instrs += int64(rest) * op.Compute
+			}
+			p.bpos = p.batch.Count
+			continue
+		}
+		if p.batcher == nil {
+			return true, nil
+		}
+		run := mem.Run{
+			Addr:   op.Addr,
+			Stride: p.batch.Stride,
+			Size:   op.Size,
+			Count:  rest,
+			Issue:  p.issue,
+		}
+		if op.Compute > 0 {
+			run.Gap = p.durOf(op.Compute)
+		}
+		var res mem.RunResult
+		var err error
+		if op.Write {
+			res, err = p.batcher.WriteRun(p.now, run, p.payload(op.Size))
+		} else {
+			if len(p.loadBuf) < op.Size {
+				p.loadBuf = make([]byte, op.Size)
+			}
+			res, err = p.batcher.ReadRun(p.now, run, p.loadBuf[:op.Size])
+		}
+		if err != nil {
+			return false, fmt.Errorf("pe %d: %w", p.ID, err)
+		}
+		if res.Done > 0 {
+			p.now = res.Now
+			p.compute += sim.Duration(res.Done) * run.Gap
+			p.stall += res.Stall
+			p.instrs += int64(res.Done) * (op.Compute + 1)
+			p.bpos += res.Done
+		}
+		if p.bpos < p.batch.Count {
+			// The next access leaves the private fast path: yield so it
+			// executes in its own event at the correct global time.
+			return true, nil
+		}
+	}
+}
+
+// exec runs one op through the scalar path.
+func (p *PE) exec(op workload.Op) error {
+	if op.Compute > 0 {
+		dur := p.durOf(op.Compute)
 		p.emit(Span{Active: true, T0: p.now, T1: p.now + dur})
 		if p.ipc != nil {
 			p.ipc.Spread(p.now, p.now+dur, float64(op.Compute))
@@ -164,15 +296,14 @@ func (p *PE) Step() (bool, error) {
 			done, err = mem.ReadIntoOf(p.memory, p.now, op.Addr, p.loadBuf[:op.Size])
 		}
 		if err != nil {
-			return false, fmt.Errorf("pe %d: %w", p.ID, err)
+			return fmt.Errorf("pe %d: %w", p.ID, err)
 		}
 		if done < p.now {
 			done = p.now
 		}
 		// One issue slot for the load/store itself; the rest of the
 		// access time is stall.
-		issue := clock.Cycles(1)
-		stallEnd := sim.Max(done, p.now+issue)
+		stallEnd := sim.Max(done, p.now+p.issue)
 		p.emit(Span{Active: false, T0: p.now, T1: stallEnd})
 		if p.ipc != nil {
 			p.ipc.Accumulate(p.now, 1)
@@ -181,7 +312,7 @@ func (p *PE) Step() (bool, error) {
 		p.now = stallEnd
 		p.instrs++
 	}
-	return true, nil
+	return nil
 }
 
 // payload returns a reusable nonzero store buffer of n bytes.

@@ -12,6 +12,7 @@ import (
 	"math/bits"
 
 	"dramless/internal/lpddr"
+	"dramless/internal/sim"
 )
 
 // Geometry fixes the address layout of one PRAM module.
@@ -183,16 +184,47 @@ func (g Geometry) CheckRow(row uint64) error {
 	return nil
 }
 
-// row is the storage of one 32 B PRAM row: the data plus the per-word cell
-// state that determines program latency.
-type row struct {
-	data  []byte
-	state []lpddr.CellState
+// Row storage is segmented: segRows consecutive rows share one lazily
+// allocated rowSeg whose slabs hold data, per-word cell state and the
+// per-row program/read timestamps. Keying storage per segment instead of
+// per 32 B row keeps the map three orders of magnitude smaller, and the
+// module's one-entry segment memo turns the sequential row streams the
+// datapath produces into plain array indexing (the per-row map was the
+// top non-copy cost of the whole suite once the caches stopped
+// allocating).
+const (
+	segBits = 8 // 256 rows (8 KiB of data) per segment
+	segRows = 1 << segBits
+	segMask = segRows - 1
+)
+
+// rowSeg is the storage of segRows consecutive rows. All slabs use the
+// Go zero value as "pristine": data reads back zero and state is
+// lpddr.CellFresh until a program or LoadRow marks the row written.
+type rowSeg struct {
+	data     []byte            // segRows * RowBytes
+	state    []lpddr.CellState // segRows * WordsPerRow
+	written  []bool            // per row: ever programmed or loaded
+	lastProg []sim.Time        // per row: last program completion
+	lastRead []sim.Time        // per row: last array activation
 }
 
-func newRow(g Geometry) *row {
-	return &row{
-		data:  make([]byte, g.RowBytes),
-		state: make([]lpddr.CellState, g.WordsPerRow()),
+func newSeg(g Geometry) *rowSeg {
+	return &rowSeg{
+		data:     make([]byte, segRows*g.RowBytes),
+		state:    make([]lpddr.CellState, segRows*g.WordsPerRow()),
+		written:  make([]bool, segRows),
+		lastProg: make([]sim.Time, segRows),
+		lastRead: make([]sim.Time, segRows),
 	}
+}
+
+// rowData returns the data slab of row idx within the segment.
+func (s *rowSeg) rowData(idx, rowBytes int) []byte {
+	return s.data[idx*rowBytes : (idx+1)*rowBytes]
+}
+
+// rowState returns the per-word cell states of row idx within the segment.
+func (s *rowSeg) rowState(idx, wordsPerRow int) []lpddr.CellState {
+	return s.state[idx*wordsPerRow : (idx+1)*wordsPerRow]
 }

@@ -46,8 +46,14 @@ type Module struct {
 	rdbWindow [4]bool
 	rdbData   [4][]byte
 
-	ow      *overlay
-	storage map[uint64]*row
+	ow *overlay
+
+	// Array content, segmented (see rowSeg). memoSeg short-circuits the
+	// map for the segment the last access touched: the datapath's row
+	// streams are sequential, so nearly every lookup repeats the segment.
+	segs    map[uint64]*rowSeg
+	memoSeg *rowSeg
+	memoID  uint64
 
 	partitions []*sim.Resource // one per array partition
 	bus        *sim.Resource   // 16-bit DQ bus shared by all bursts
@@ -56,9 +62,6 @@ type Module struct {
 	bufFreeAt sim.Time // program buffer availability: the write drivers
 	// latch staged data quickly, so programs to different partitions
 	// overlap even though each occupies its array partition fully
-	lastProg map[uint64]sim.Time // per-row last program completion
-	lastRead map[uint64]sim.Time // per-row last array activation
-
 	boot initState
 
 	// Write pausing (Qureshi et al., HPCA'10 - the Related Work
@@ -96,13 +99,11 @@ func NewModule(geo Geometry, par lpddr.Params) (*Module, error) {
 		return nil, err
 	}
 	m := &Module{
-		geo:      geo,
-		par:      par,
-		track:    lpddr.NewTracker(par.NumRAB),
-		storage:  make(map[uint64]*row),
-		bus:      sim.NewResource("pram.dq"),
-		lastProg: make(map[uint64]sim.Time),
-		lastRead: make(map[uint64]sim.Time),
+		geo:   geo,
+		par:   par,
+		track: lpddr.NewTracker(par.NumRAB),
+		segs:  make(map[uint64]*rowSeg),
+		bus:   sim.NewResource("pram.dq"),
 	}
 	for i := 0; i < geo.Partitions; i++ {
 		m.partitions = append(m.partitions, sim.NewResource(fmt.Sprintf("pram.part%d", i)))
@@ -122,6 +123,36 @@ func MustNewModule(geo Geometry, par lpddr.Params) *Module {
 		panic(err)
 	}
 	return m
+}
+
+// seg returns the segment holding rowAddr plus the row's index within
+// it, materializing the segment on first touch.
+func (m *Module) seg(rowAddr uint64) (*rowSeg, int) {
+	id := rowAddr >> segBits
+	if m.memoSeg != nil && m.memoID == id {
+		return m.memoSeg, int(rowAddr & segMask)
+	}
+	s := m.segs[id]
+	if s == nil {
+		s = newSeg(m.geo)
+		m.segs[id] = s
+	}
+	m.memoID, m.memoSeg = id, s
+	return s, int(rowAddr & segMask)
+}
+
+// peek is seg without materialization: it returns a nil segment when no
+// access has touched rowAddr's segment yet.
+func (m *Module) peek(rowAddr uint64) (*rowSeg, int) {
+	id := rowAddr >> segBits
+	if m.memoSeg != nil && m.memoID == id {
+		return m.memoSeg, int(rowAddr & segMask)
+	}
+	s := m.segs[id]
+	if s != nil {
+		m.memoID, m.memoSeg = id, s
+	}
+	return s, int(rowAddr & segMask)
 }
 
 // EnableWritePausing turns on the write-pause/resume behaviour (the
@@ -279,15 +310,10 @@ func (m *Module) Activate(at sim.Time, ba uint8, lower uint32) (done sim.Time, e
 	m.rdbValid[ba] = true
 	m.rdbWindow[ba] = false
 	m.rdbRow[ba] = rowAddr
-	if r, ok := m.storage[rowAddr]; ok {
-		copy(m.rdbData[ba], r.data)
-	} else {
-		for i := range m.rdbData[ba] {
-			m.rdbData[ba][i] = 0
-		}
-	}
+	seg, idx := m.seg(rowAddr)
+	copy(m.rdbData[ba], seg.rowData(idx, m.geo.RowBytes))
 	m.stats.Activates++
-	m.lastRead[rowAddr] = done
+	seg.lastRead[idx] = done
 	return done, nil
 }
 
@@ -404,7 +430,12 @@ func (m *Module) ProgBufFreeAt() sim.Time { return m.bufFreeAt }
 
 // LastProgramEnd returns when the most recent program of rowAddr
 // completed (0 if never programmed on a timed path).
-func (m *Module) LastProgramEnd(rowAddr uint64) sim.Time { return m.lastProg[rowAddr] }
+func (m *Module) LastProgramEnd(rowAddr uint64) sim.Time {
+	if seg, idx := m.peek(rowAddr); seg != nil {
+		return seg.lastProg[idx]
+	}
+	return 0
+}
 
 // PreEraseBackground models the on-line selective-erasing pass: the
 // subsystem zero-programs (pure RESET) a dead row during an idle window
@@ -420,12 +451,13 @@ func (m *Module) PreEraseBackground(from sim.Time, rowAddr uint64, contractDead 
 	if err := m.geo.CheckRow(rowAddr); err != nil {
 		return err
 	}
-	r, ok := m.storage[rowAddr]
-	if !ok {
+	seg, idx := m.peek(rowAddr)
+	if seg == nil || !seg.written[idx] {
 		return nil // never written: already pristine
 	}
+	state := seg.rowState(idx, m.geo.WordsPerRow())
 	needs := false
-	for _, st := range r.state {
+	for _, st := range state {
 		if st == lpddr.CellProgrammed {
 			needs = true
 			break
@@ -437,22 +469,23 @@ func (m *Module) PreEraseBackground(from sim.Time, rowAddr uint64, contractDead 
 	// Safety: the background erase retroactively occupies an idle window
 	// in the past. Unless the contents were contract-dead, a read since
 	// the last program means the erase would have corrupted that read.
-	if !contractDead && m.lastRead[rowAddr] > m.lastProg[rowAddr] {
+	if !contractDead && seg.lastRead[idx] > seg.lastProg[idx] {
 		return nil
 	}
 	part := m.partitions[m.geo.PartitionOf(rowAddr)]
-	start := part.Acquire(sim.Max(from, m.lastProg[rowAddr]), m.par.CellOverwriteExtra)
+	start := part.Acquire(sim.Max(from, seg.lastProg[idx]), m.par.CellOverwriteExtra)
 	end := start + m.par.CellOverwriteExtra
 	if end > m.busyUntil {
 		m.busyUntil = end
 	}
-	for i := range r.data {
-		r.data[i] = 0
+	data := seg.rowData(idx, m.geo.RowBytes)
+	for i := range data {
+		data[i] = 0
 	}
-	for i := range r.state {
-		r.state[i] = lpddr.CellErased
+	for i := range state {
+		state[i] = lpddr.CellErased
 	}
-	m.lastProg[rowAddr] = end
+	seg.lastProg[idx] = end
 	for i := range m.rdbValid {
 		if m.rdbValid[i] && !m.rdbWindow[i] && m.rdbRow[i] == rowAddr {
 			m.rdbValid[i] = false
@@ -495,11 +528,10 @@ func (m *Module) program(at sim.Time) error {
 		return fmt.Errorf("pram: program targets the overlay window row %#x", rowAddr)
 	}
 
-	r, ok := m.storage[rowAddr]
-	if !ok {
-		r = newRow(m.geo)
-		m.storage[rowAddr] = r
-	}
+	seg, idx := m.seg(rowAddr)
+	seg.written[idx] = true
+	state := seg.rowState(idx, m.geo.WordsPerRow())
+	data := seg.rowData(idx, m.geo.RowBytes)
 
 	// Determine the op time from the slowest word, then commit data and
 	// new cell states.
@@ -515,7 +547,7 @@ func (m *Module) program(at sim.Time) error {
 				break
 			}
 		}
-		st := r.state[w]
+		st := state[w]
 		var wt sim.Duration
 		if zero {
 			// Programming all-zero data is a pure RESET of the word: the
@@ -525,10 +557,10 @@ func (m *Module) program(at sim.Time) error {
 			} else {
 				wt = 0 // already pristine; drivers idle for this word
 			}
-			r.state[w] = lpddr.CellErased
+			state[w] = lpddr.CellErased
 		} else {
 			wt = m.par.ProgramTime(st)
-			r.state[w] = lpddr.CellProgrammed
+			state[w] = lpddr.CellProgrammed
 		}
 		if wt > opTime {
 			opTime = wt
@@ -536,7 +568,7 @@ func (m *Module) program(at sim.Time) error {
 				slowest = st
 			}
 		}
-		copy(r.data[w*wb:], src)
+		copy(data[w*wb:], src)
 	}
 	if opTime == 0 {
 		// Writing zeros over pristine cells still costs one driver pulse.
@@ -556,7 +588,7 @@ func (m *Module) program(at sim.Time) error {
 	if bf := at + progBufHold; bf > m.bufFreeAt {
 		m.bufFreeAt = bf
 	}
-	m.lastProg[rowAddr] = end
+	seg.lastProg[idx] = end
 	m.stats.Programs++
 	m.stats.ProgramsBy[slowest]++
 	m.stats.ProgramTime += opTime
@@ -586,12 +618,14 @@ func (m *Module) erase(at sim.Time) error {
 		m.busyUntil = end
 	}
 	for rowA := base; rowA < base+uint64(m.geo.EraseRows) && rowA < m.geo.RowsPerModule; rowA++ {
-		if r, ok := m.storage[rowA]; ok {
-			for i := range r.data {
-				r.data[i] = 0
+		if seg, idx := m.peek(rowA); seg != nil && seg.written[idx] {
+			data := seg.rowData(idx, m.geo.RowBytes)
+			for i := range data {
+				data[i] = 0
 			}
-			for i := range r.state {
-				r.state[i] = lpddr.CellErased
+			state := seg.rowState(idx, m.geo.WordsPerRow())
+			for i := range state {
+				state[i] = lpddr.CellErased
 			}
 		}
 		for i := range m.rdbValid {
@@ -608,11 +642,11 @@ func (m *Module) erase(at sim.Time) error {
 // addr, for tests and the selective-erasing scheduler.
 func (m *Module) WordState(addr uint64) lpddr.CellState {
 	rowAddr := m.geo.RowOf(addr)
-	r, ok := m.storage[rowAddr]
-	if !ok {
+	seg, idx := m.peek(rowAddr)
+	if seg == nil {
 		return lpddr.CellFresh
 	}
-	return r.state[m.geo.ColOf(addr)/m.geo.WordBytes]
+	return seg.rowState(idx, m.geo.WordsPerRow())[m.geo.ColOf(addr)/m.geo.WordBytes]
 }
 
 // LoadRow stores data into a row bypassing protocol and timing, marking
@@ -626,15 +660,13 @@ func (m *Module) LoadRow(rowAddr uint64, data []byte) error {
 	if len(data) > m.geo.RowBytes {
 		return fmt.Errorf("pram: %d bytes exceed the row", len(data))
 	}
-	r, ok := m.storage[rowAddr]
-	if !ok {
-		r = newRow(m.geo)
-		m.storage[rowAddr] = r
-	}
-	copy(r.data, data)
+	seg, idx := m.seg(rowAddr)
+	seg.written[idx] = true
+	copy(seg.rowData(idx, m.geo.RowBytes), data)
+	state := seg.rowState(idx, m.geo.WordsPerRow())
 	wb := m.geo.WordBytes
 	for w := 0; w*wb < len(data); w++ {
-		r.state[w] = lpddr.CellProgrammed
+		state[w] = lpddr.CellProgrammed
 	}
 	return nil
 }
@@ -643,8 +675,8 @@ func (m *Module) LoadRow(rowAddr uint64, data []byte) error {
 // bypassing timing; for tests and debugging only.
 func (m *Module) PeekRow(rowAddr uint64) []byte {
 	out := make([]byte, m.geo.RowBytes)
-	if r, ok := m.storage[rowAddr]; ok {
-		copy(out, r.data)
+	if seg, idx := m.peek(rowAddr); seg != nil {
+		copy(out, seg.rowData(idx, m.geo.RowBytes))
 	}
 	return out
 }

@@ -1,0 +1,36 @@
+package ssd
+
+import (
+	"dramless/internal/mem"
+	"dramless/internal/sim"
+)
+
+var _ mem.Batcher = (*SSD)(nil)
+
+// ReadRun implements mem.BatchReader. The device completes the whole
+// run; each access still enters through the firmware/buffer state
+// machine (buffer hits, fetches and evictions are per-page decisions),
+// so execution is per access with the run's timing recurrence applied
+// around it.
+func (s *SSD) ReadRun(now sim.Time, r mem.Run, dst []byte) (mem.RunResult, error) {
+	return mem.ReadRunLoop(s, now, r, dst)
+}
+
+// WriteRun implements mem.BatchWriter (see ReadRun).
+func (s *SSD) WriteRun(now sim.Time, r mem.Run, src []byte) (mem.RunResult, error) {
+	return mem.WriteRunLoop(s, now, r, src)
+}
+
+var _ mem.Batcher = (*FirmwareManaged)(nil)
+
+// ReadRun implements mem.BatchReader for the firmware-dispatched
+// subsystem: every request pays its firmware entry, so runs execute per
+// access.
+func (f *FirmwareManaged) ReadRun(now sim.Time, r mem.Run, dst []byte) (mem.RunResult, error) {
+	return mem.ReadRunLoop(f, now, r, dst)
+}
+
+// WriteRun implements mem.BatchWriter (see ReadRun).
+func (f *FirmwareManaged) WriteRun(now sim.Time, r mem.Run, src []byte) (mem.RunResult, error) {
+	return mem.WriteRunLoop(f, now, r, src)
+}

@@ -1,0 +1,101 @@
+package system
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"dramless/internal/obs"
+	"dramless/internal/workload"
+)
+
+// equivKernels picks one kernel from each workload class (Table III
+// taxonomy), so the batched datapath is exercised across read-, write-,
+// compute- and memory-bound op mixes.
+var equivKernels = []string{"gemver", "doitg", "fdtdap", "jaco1d"}
+
+// eventCounter reports registry names that count simulation-engine
+// events. Run coalescing services several ops per engine event by
+// design, so dispatch/recycle totals legitimately shrink; every other
+// observable must stay byte-identical.
+func eventCounter(name string) bool {
+	return strings.HasSuffix(name, "events_dispatched") ||
+		strings.HasSuffix(name, "events_recycled")
+}
+
+func filteredEntries(c *obs.Counters) []obs.Entry {
+	out := make([]obs.Entry, 0, c.Len())
+	for _, e := range c.Entries() {
+		if !eventCounter(e.Name) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// TestBatchedMatchesUnbatched is the coalescing datapath's equivalence
+// oracle: for every Table I organization x one kernel per workload
+// class, a run with the batched front-end must reproduce the op-at-a-
+// time run exactly - phase walls, time/energy breakdowns, per-agent
+// reports and cache stats, and the full counter registry, save only the
+// engine's event-dispatch totals (see eventCounter).
+func TestBatchedMatchesUnbatched(t *testing.T) {
+	for _, kind := range Kinds() {
+		for _, kname := range equivKernels {
+			t.Run(kind.String()+"/"+kname, func(t *testing.T) {
+				k := workload.MustByName(kname)
+
+				cfg := testConfig(kind)
+				cfg.Scale = 128 << 10
+				batched, err := Run(cfg, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				ucfg := cfg
+				ucfg.Accel.PE.Unbatched = true
+				unbatched, err := Run(ucfg, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				if batched.Load != unbatched.Load ||
+					batched.Kernel != unbatched.Kernel ||
+					batched.Store != unbatched.Store ||
+					batched.Total != unbatched.Total {
+					t.Errorf("phase walls differ:\n  batched   load=%v kernel=%v store=%v total=%v\n  unbatched load=%v kernel=%v store=%v total=%v",
+						batched.Load, batched.Kernel, batched.Store, batched.Total,
+						unbatched.Load, unbatched.Kernel, unbatched.Store, unbatched.Total)
+				}
+				if batched.Footprint != unbatched.Footprint {
+					t.Errorf("footprint differs: %d != %d", batched.Footprint, unbatched.Footprint)
+				}
+				if !reflect.DeepEqual(batched.Time, unbatched.Time) {
+					t.Errorf("time breakdown differs:\n  batched:   %+v\n  unbatched: %+v", batched.Time, unbatched.Time)
+				}
+				if !reflect.DeepEqual(batched.Energy, unbatched.Energy) {
+					t.Errorf("energy account differs:\n  batched:   %+v\n  unbatched: %+v", batched.Energy, unbatched.Energy)
+				}
+
+				// Reports match except the engine event totals.
+				br, ur := *batched.Report, *unbatched.Report
+				br.Events, br.EventsRecycled = 0, 0
+				ur.Events, ur.EventsRecycled = 0, 0
+				if !reflect.DeepEqual(br, ur) {
+					t.Errorf("kernel report differs:\n  batched:   %+v\n  unbatched: %+v", br, ur)
+				}
+
+				be := filteredEntries(&batched.Counters)
+				ue := filteredEntries(&unbatched.Counters)
+				if len(be) != len(ue) {
+					t.Fatalf("counter registries differ in size: %d != %d", len(be), len(ue))
+				}
+				for i := range be {
+					if be[i] != ue[i] {
+						t.Errorf("counter %q: batched %+v != unbatched %+v", be[i].Name, be[i], ue[i])
+					}
+				}
+			})
+		}
+	}
+}

@@ -2,6 +2,7 @@ package system
 
 import (
 	"fmt"
+	"sync"
 
 	"dramless/internal/accel"
 	"dramless/internal/energy"
@@ -111,6 +112,78 @@ func (b *build) zeroBuf(n int) []byte {
 		b.zeros = make([]byte, n)
 	}
 	return b.zeros[:n]
+}
+
+// stageRead streams total bytes out of dev at addr in step-sized reads
+// through the batched read path (buf must hold at least step bytes,
+// or total when smaller); the bytes are discarded. Timing matches the
+// scalar read loop it replaces access for access.
+func stageRead(dev mem.Device, at sim.Time, addr uint64, total, step int64, buf []byte) (sim.Time, error) {
+	bt := mem.BatchOf(dev)
+	t := at
+	if full := total / step; full > 0 {
+		run := mem.Run{Addr: addr, Stride: step, Size: int(step), Count: int(full)}
+		res, err := bt.ReadRun(t, run, buf)
+		if err != nil {
+			return 0, err
+		}
+		t = res.Now
+		if res.Done < run.Count { // device yielded early: finish scalar
+			rest := run
+			rest.Addr = uint64(int64(run.Addr) + int64(res.Done)*run.Stride)
+			rest.Count = run.Count - res.Done
+			if res, err = mem.ReadRunLoop(dev, t, rest, buf); err != nil {
+				return 0, err
+			}
+			t = res.Now
+		}
+	}
+	if tail := total % step; tail > 0 {
+		d, err := mem.ReadIntoOf(dev, t, uint64(int64(addr)+total-tail), buf[:tail])
+		if err != nil {
+			return 0, err
+		}
+		if d < t {
+			d = t
+		}
+		t = d
+	}
+	return t, nil
+}
+
+// stageWrite is stageRead for stores: every access stores the leading
+// bytes of src.
+func stageWrite(dev mem.Device, at sim.Time, addr uint64, total, step int64, src []byte) (sim.Time, error) {
+	bt := mem.BatchOf(dev)
+	t := at
+	if full := total / step; full > 0 {
+		run := mem.Run{Addr: addr, Stride: step, Size: int(step), Count: int(full)}
+		res, err := bt.WriteRun(t, run, src)
+		if err != nil {
+			return 0, err
+		}
+		t = res.Now
+		if res.Done < run.Count {
+			rest := run
+			rest.Addr = uint64(int64(run.Addr) + int64(res.Done)*run.Stride)
+			rest.Count = run.Count - res.Done
+			if res, err = mem.WriteRunLoop(dev, t, rest, src); err != nil {
+				return 0, err
+			}
+			t = res.Now
+		}
+	}
+	if tail := total % step; tail > 0 {
+		d, err := dev.Write(t, uint64(int64(addr)+total-tail), src[:tail])
+		if err != nil {
+			return 0, err
+		}
+		if d < t {
+			d = t
+		}
+		t = d
+	}
+	return t, nil
 }
 
 // newBuild constructs the system of cfg.Kind.
@@ -245,6 +318,25 @@ func (b *build) collectCounters(rep *accel.Report, c *obs.Counters) {
 	b.ssdLink.CountersInto(c)
 }
 
+// populateBuf returns the shared initial-data pattern block. It is
+// immutable after first use (devices copy write sources, never mutate
+// them), so every run - including parallel experiment workers - stages
+// from the same buffer instead of rebuilding 256 KiB per simulation.
+func populateBuf() []byte {
+	populateOnce.Do(func() {
+		populatePattern = make([]byte, 256<<10)
+		for i := range populatePattern {
+			populatePattern[i] = byte(i*131 + 7)
+		}
+	})
+	return populatePattern
+}
+
+var (
+	populateOnce    sync.Once
+	populatePattern []byte
+)
+
 // populate places input data in the persistent store before measurement
 // (offline, untimed where the device allows it) and returns the earliest
 // measurable start time.
@@ -254,24 +346,9 @@ func (b *build) populate(k workload.Kernel, p workload.Params) (sim.Time, error)
 	// writes onto pristine cells, which is exactly the overwrite penalty
 	// selective erasing attacks.
 	total := k.FootprintBytes(p)
-	buf := make([]byte, 256<<10)
-	for i := range buf {
-		buf[i] = byte(i*131 + 7)
-	}
+	buf := populateBuf()
 	writeAll := func(dev mem.Device) (sim.Time, error) {
-		var t sim.Time
-		for off := int64(0); off < total; off += int64(len(buf)) {
-			n := int64(len(buf))
-			if n > total-off {
-				n = total - off
-			}
-			d, err := dev.Write(t, p.BaseAddr+uint64(off), buf[:n])
-			if err != nil {
-				return 0, err
-			}
-			t = d
-		}
-		return t, nil
+		return stageWrite(dev, 0, p.BaseAddr, total, int64(len(buf)), buf)
 	}
 	switch b.cfg.Kind {
 	case Hetero, Heterodirect, HeteroPRAM, HeterodirectPRAM:
@@ -409,18 +486,10 @@ func (b *build) loadPhase(at sim.Time, k workload.Kernel, p workload.Params, in 
 	case Hetero, HeteroPRAM:
 		// files -> host DRAM -> deserialize -> DMA to accelerator DRAM.
 		stackDone, _, _ := b.host.FileIO(at, in)
-		devDone := at
 		step := int64(cfg.Host.IOBytes)
-		for off := int64(0); off < in; off += step {
-			n := step
-			if n > in-off {
-				n = in - off
-			}
-			d, err := mem.ReadIntoOf(b.extSSD, devDone, p.BaseAddr+uint64(off), b.stagingBuf(int(n)))
-			if err != nil {
-				return 0, err
-			}
-			devDone = d
+		devDone, err := stageRead(b.extSSD, at, p.BaseAddr, in, step, b.stagingBuf(int(step)))
+		if err != nil {
+			return 0, err
 		}
 		t = sim.Max(t, sim.Max(stackDone, devDone))
 		t = b.host.Deserialize(t, in)
@@ -439,18 +508,10 @@ func (b *build) loadPhase(at sim.Time, k workload.Kernel, p workload.Params, in 
 		// Peer-to-peer DMA: the host only submits; data flows
 		// SSD -> switch -> accelerator.
 		t = b.host.Submit(t)
-		devDone := at
 		step := int64(cfg.Host.IOBytes)
-		for off := int64(0); off < in; off += step {
-			n := step
-			if n > in-off {
-				n = in - off
-			}
-			d, err := mem.ReadIntoOf(b.extSSD, devDone, p.BaseAddr+uint64(off), b.stagingBuf(int(n)))
-			if err != nil {
-				return 0, err
-			}
-			devDone = d
+		devDone, err := stageRead(b.extSSD, at, p.BaseAddr, in, step, b.stagingBuf(int(step)))
+		if err != nil {
+			return 0, err
 		}
 		t = sim.Max(t, devDone)
 		t = b.p2p.Transfer(t, in)
@@ -517,18 +578,10 @@ func (b *build) storePhase(at sim.Time, k workload.Kernel, p workload.Params, ou
 		}
 		t = b.accLink.DMA(t, out)
 		stackDone, _, _ := b.host.FileIO(t, out)
-		t = stackDone
 		step := int64(b.cfg.Host.IOBytes)
-		for off := int64(0); off < out; off += step {
-			n := step
-			if n > out-off {
-				n = out - off
-			}
-			d, err := b.extSSD.Write(t, k.OutputAddr(p)+uint64(off), b.zeroBuf(int(n)))
-			if err != nil {
-				return 0, err
-			}
-			t = d
+		t, err = stageWrite(b.extSSD, stackDone, k.OutputAddr(p), out, step, b.zeroBuf(int(step)))
+		if err != nil {
+			return 0, err
 		}
 		return b.extSSD.Flush(t)
 	case Heterodirect, HeterodirectPRAM:
@@ -542,16 +595,9 @@ func (b *build) storePhase(at sim.Time, k workload.Kernel, p workload.Params, ou
 		t = b.host.Submit(t)
 		t = b.p2p.Transfer(t, out)
 		step := int64(b.cfg.Host.IOBytes)
-		for off := int64(0); off < out; off += step {
-			n := step
-			if n > out-off {
-				n = out - off
-			}
-			d, err := b.extSSD.Write(t, k.OutputAddr(p)+uint64(off), b.zeroBuf(int(n)))
-			if err != nil {
-				return 0, err
-			}
-			t = d
+		t, err = stageWrite(b.extSSD, t, k.OutputAddr(p), out, step, b.zeroBuf(int(step)))
+		if err != nil {
+			return 0, err
 		}
 		d, err := b.extSSD.Flush(t)
 		if err != nil {

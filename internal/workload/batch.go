@@ -1,0 +1,102 @@
+package workload
+
+// Batch is a run of Count consecutive ops from a Stream that differ only
+// in their address, which advances by Stride bytes per op (memory-less
+// compute ops coalesce whenever they are identical). A batch is exactly
+// equivalent to replaying its ops one at a time: consumers that cannot
+// exploit the run structure can iterate At(0..Count-1) and recover the
+// original sequence.
+type Batch struct {
+	Op     Op
+	Count  int
+	Stride int64
+}
+
+// At returns op i of the batch (0 <= i < Count).
+func (b Batch) At(i int) Op {
+	op := b.Op
+	if op.Size > 0 {
+		op.Addr = uint64(int64(op.Addr) + int64(i)*b.Stride)
+	}
+	return op
+}
+
+// BatchStream is a Stream that can also hand out run-length-coalesced
+// batches. Next and NextBatch draw from the same underlying sequence, so
+// callers may mix them; the concatenation of everything returned is the
+// original op order.
+type BatchStream interface {
+	Stream
+	// NextBatch returns the longest run of upcoming ops that coalesces
+	// into one Batch (at least one op); ok=false when exhausted.
+	NextBatch() (b Batch, ok bool)
+}
+
+// Coalesce returns a BatchStream over s. Streams that already implement
+// BatchStream are returned unchanged; anything else is wrapped in a
+// one-op-lookahead coalescer, which makes batching equivalent to the
+// scalar op order by construction for every generator, including
+// irregular ones.
+func Coalesce(s Stream) BatchStream {
+	if bs, ok := s.(BatchStream); ok {
+		return bs
+	}
+	return &coalescer{s: s}
+}
+
+// coalescer run-length-encodes an op stream with one op of lookahead.
+type coalescer struct {
+	s       Stream
+	pending Op
+	has     bool
+}
+
+// Next implements Stream.
+func (c *coalescer) Next() (Op, bool) {
+	if c.has {
+		c.has = false
+		return c.pending, true
+	}
+	return c.s.Next()
+}
+
+// NextBatch implements BatchStream.
+func (c *coalescer) NextBatch() (Batch, bool) {
+	first, ok := c.Next()
+	if !ok {
+		return Batch{}, false
+	}
+	b := Batch{Op: first, Count: 1}
+	last := first
+	for {
+		nxt, ok := c.s.Next()
+		if !ok {
+			return b, true
+		}
+		if !extend(&b, last, nxt) {
+			c.pending, c.has = nxt, true
+			return b, true
+		}
+		last = nxt
+	}
+}
+
+// extend reports whether nxt continues the run ending in last, growing b
+// when it does. Memory ops extend when every field but the address
+// matches and the address keeps the batch's stride (fixed by the first
+// two ops); compute-only ops extend when identical.
+func extend(b *Batch, last, nxt Op) bool {
+	if nxt.Compute != b.Op.Compute || nxt.Size != b.Op.Size || nxt.Write != b.Op.Write {
+		return false
+	}
+	if b.Op.Size > 0 {
+		stride := int64(nxt.Addr) - int64(last.Addr)
+		if b.Count == 1 {
+			b.Stride = stride
+		} else if stride != b.Stride {
+			return false
+		}
+	}
+	b.Count++
+	return true
+}

@@ -1,0 +1,142 @@
+package workload
+
+import "testing"
+
+// opaque hides a stream's BatchStream implementation, forcing Coalesce
+// to use the generic one-op-lookahead coalescer.
+type opaque struct{ s Stream }
+
+func (o opaque) Next() (Op, bool) { return o.s.Next() }
+
+// TestCoalesceMatchesScalarStream is the batching ground-truth check:
+// for every suite kernel (plus a WriteEvery=0 kernel, whose outputs only
+// appear in a final sweep), expanding the batches must reproduce the
+// scalar stream's op sequence exactly, op for op - once through the
+// generator's native NextBatch and once through the generic coalescer.
+func TestCoalesceMatchesScalarStream(t *testing.T) {
+	kernels := Suite()
+	kernels = append(kernels, Kernel{
+		Name: "finalsweep", Class: WriteIntensive,
+		InputFactor: 1, OutputFactor: 1, Sweeps: 2,
+		ComputePerChunk: 16, WriteEvery: 0, StridedSweeps: 1,
+	})
+	p := Params{Scale: 64 << 10, Agents: 3}
+	for _, k := range kernels {
+		for pe := 0; pe < p.Agents; pe++ {
+			scalar, err := NewStream(k, p, pe)
+			if err != nil {
+				t.Fatalf("%s/pe%d: %v", k.Name, pe, err)
+			}
+			var want []Op
+			for {
+				op, ok := scalar.Next()
+				if !ok {
+					break
+				}
+				want = append(want, op)
+			}
+
+			for _, face := range []struct {
+				name string
+				wrap func(Stream) Stream
+			}{
+				{"native", func(s Stream) Stream { return s }},
+				{"coalescer", func(s Stream) Stream { return opaque{s} }},
+			} {
+				fresh, err := NewStream(k, p, pe)
+				if err != nil {
+					t.Fatalf("%s/pe%d: %v", k.Name, pe, err)
+				}
+				bs := Coalesce(face.wrap(fresh))
+				if face.name == "native" {
+					if _, isNative := bs.(*stream); !isNative {
+						t.Fatalf("%s/pe%d: Coalesce wrapped a native BatchStream", k.Name, pe)
+					}
+				}
+				var got []Op
+				batches := 0
+				for {
+					b, ok := bs.NextBatch()
+					if !ok {
+						break
+					}
+					if b.Count < 1 {
+						t.Fatalf("%s/pe%d/%s: empty batch", k.Name, pe, face.name)
+					}
+					for i := 0; i < b.Count; i++ {
+						got = append(got, b.At(i))
+					}
+					batches++
+				}
+				if len(got) != len(want) {
+					t.Fatalf("%s/pe%d/%s: %d ops from batches, %d from scalar stream",
+						k.Name, pe, face.name, len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("%s/pe%d/%s: op %d: batch expansion %+v != scalar %+v",
+							k.Name, pe, face.name, i, got[i], want[i])
+					}
+				}
+				// WriteEvery=1 kernels alternate load/store every op, so no
+				// run exists to fuse; everything else must actually coalesce.
+				if k.WriteEvery != 1 && batches >= len(want) && len(want) > 1 {
+					t.Errorf("%s/pe%d/%s: %d batches for %d ops (no fusion)",
+						k.Name, pe, face.name, batches, len(want))
+				}
+			}
+		}
+	}
+}
+
+// TestCoalesceMixedNextAndNextBatch checks the documented BatchStream
+// contract: interleaving Next with NextBatch still yields the original
+// op order (the coalescer's lookahead op must not be lost or reordered).
+func TestCoalesceMixedNextAndNextBatch(t *testing.T) {
+	k := MustByName("jaco1d")
+	p := Params{Scale: 32 << 10, Agents: 2}
+	scalar, err := NewStream(k, p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []Op
+	for {
+		op, ok := scalar.Next()
+		if !ok {
+			break
+		}
+		want = append(want, op)
+	}
+
+	fresh, err := NewStream(k, p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs := Coalesce(fresh)
+	var got []Op
+	for turn := 0; ; turn++ {
+		if turn%3 == 0 { // every third draw goes through the scalar face
+			op, ok := bs.Next()
+			if !ok {
+				break
+			}
+			got = append(got, op)
+			continue
+		}
+		b, ok := bs.NextBatch()
+		if !ok {
+			break
+		}
+		for i := 0; i < b.Count; i++ {
+			got = append(got, b.At(i))
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("mixed draw yielded %d ops, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("op %d: %+v != %+v", i, got[i], want[i])
+		}
+	}
+}

@@ -322,10 +322,14 @@ func (s *stream) Next() (Op, bool) {
 		return Op{Compute: 2, Addr: addr, Size: ChunkBytes, Write: true}, true
 	}
 	if s.pos >= s.inChunks {
-		// Sweep finished.
-		s.pos = 0
-		s.sweep++
-		if s.sweep >= s.k.Sweeps {
+		// Sweep finished. Only start another input pass when one remains:
+		// resetting pos unconditionally used to drop the stream back into
+		// input reads between final-sweep stores, re-reading the whole
+		// slab once per buffered output chunk.
+		if s.sweep+1 < s.k.Sweeps {
+			s.pos = 0
+			s.sweep++
+		} else {
 			// Final output sweep for kernels that buffer outputs.
 			if s.k.WriteEvery == 0 && s.finalOut < s.outChunks {
 				addr := s.outBase + uint64((s.outStart+s.finalOut)*ChunkBytes)
@@ -351,4 +355,56 @@ func (s *stream) Next() (Op, bool) {
 	s.pos++
 	s.sinceWr++
 	return Op{Compute: int64(s.k.ComputePerChunk), Addr: addr, Size: ChunkBytes, Write: false}, true
+}
+
+// NextBatch implements BatchStream natively: the generator knows its own
+// run structure, so instead of re-discovering runs op by op (the generic
+// coalescer) it extends the first op arithmetically - reads up to the
+// next due store, sweep end or strided-wrap discontinuity, final-sweep
+// stores to the end of the output slab. Interleaved stores stay
+// singletons (a read always separates them). The concatenation of the
+// batches is exactly the Next() op order; TestCoalesceMatchesScalarStream
+// pins that against the scalar stream for every suite kernel.
+func (s *stream) NextBatch() (Batch, bool) {
+	op, ok := s.Next()
+	if !ok {
+		return Batch{}, false
+	}
+	b := Batch{Op: op, Count: 1}
+	if op.Write {
+		if s.k.WriteEvery == 0 {
+			// Final output sweep: the remaining stores walk the slab
+			// contiguously.
+			rest := s.outChunks - s.finalOut
+			if rest > 0 {
+				b.Stride = ChunkBytes
+				b.Count += int(rest)
+				s.finalOut += rest
+			}
+		}
+		return b, true
+	}
+	// Reads remaining in this sweep; a due store preempts them.
+	n := s.inChunks - s.pos
+	if s.k.WriteEvery > 0 && s.outChunks > 0 {
+		if until := int64(s.k.WriteEvery - s.sinceWr); until < n {
+			n = until
+		}
+	}
+	stride := int64(ChunkBytes)
+	if s.sweep < s.k.StridedSweeps {
+		// Strided traversal: constant stride until the slab wrap.
+		stride *= stridedStrideChunks
+		at := ((s.pos - 1) * stridedStrideChunks) % s.inChunks
+		if until := (s.inChunks - 1 - at) / stridedStrideChunks; until < n {
+			n = until
+		}
+	}
+	if n > 0 {
+		b.Stride = stride
+		b.Count += int(n)
+		s.pos += n
+		s.sinceWr += int(n)
+	}
+	return b, true
 }

@@ -6,6 +6,13 @@
 //
 //	go test -run '^$' -bench . -benchmem . | benchjson -out BENCH_suite.json
 //
+// With -compare, the parsed results are instead diffed against a
+// committed baseline document and nothing is written: per-benchmark
+// ns/op deltas go to stderr and the exit status is 1 when any benchmark
+// regressed by more than -threshold (fractional, default 0.10):
+//
+//	go test -run '^$' -bench . . | benchjson -compare BENCH_suite.json
+//
 // Input lines are echoed to stdout, so the tool tees transparently.
 package main
 
@@ -37,6 +44,8 @@ type document struct {
 
 func main() {
 	out := flag.String("out", "BENCH_suite.json", "output JSON file")
+	compare := flag.String("compare", "", "baseline JSON file: diff ns/op against it instead of writing")
+	threshold := flag.Float64("threshold", 0.10, "with -compare, fail on ns/op regressions above this fraction")
 	flag.Parse()
 
 	doc := document{Benchmarks: []result{}}
@@ -65,6 +74,18 @@ func main() {
 		os.Exit(1)
 	}
 
+	if *compare != "" {
+		ok, err := compareBaseline(doc, *compare, *threshold)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if !ok {
+			os.Exit(1)
+		}
+		return
+	}
+
 	enc, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -76,6 +97,62 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(doc.Benchmarks), *out)
+}
+
+// compareBaseline diffs ns/op of the parsed results against the
+// baseline document at path, printing one line per benchmark to stderr.
+// It reports false when any benchmark shared with the baseline slowed
+// down by more than threshold (fractional).
+func compareBaseline(doc document, path string, threshold float64) (bool, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return false, fmt.Errorf("benchjson: read baseline: %w", err)
+	}
+	var base document
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return false, fmt.Errorf("benchjson: parse baseline %s: %w", path, err)
+	}
+	baseNs := make(map[string]float64, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		if ns, ok := b.Metrics["ns/op"]; ok && ns > 0 {
+			baseNs[b.Name] = ns
+		}
+	}
+	if len(doc.Benchmarks) == 0 {
+		return false, fmt.Errorf("benchjson: no benchmark results on stdin to compare")
+	}
+	regressions, compared := 0, 0
+	for _, b := range doc.Benchmarks {
+		ns, ok := b.Metrics["ns/op"]
+		if !ok {
+			continue
+		}
+		old, ok := baseNs[b.Name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchjson: %-45s %14.0f ns/op  (new, no baseline)\n", b.Name, ns)
+			continue
+		}
+		compared++
+		delta := ns/old - 1
+		mark := ""
+		if delta > threshold {
+			mark = "  REGRESSION"
+			regressions++
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: %-45s %14.0f ns/op  vs %14.0f  %+7.1f%%%s\n",
+			b.Name, ns, old, delta*100, mark)
+	}
+	if compared == 0 {
+		return false, fmt.Errorf("benchjson: no benchmarks in common with baseline %s", path)
+	}
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed more than %.0f%% vs %s\n",
+			regressions, threshold*100, path)
+		return false, nil
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) within %.0f%% of %s\n",
+		compared, threshold*100, path)
+	return true, nil
 }
 
 // parseLine decodes one result line:
