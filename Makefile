@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-json bench-compare profile trace vet fmt-check ci ci-full verify
+.PHONY: build test race bench bench-json bench-compare hist-json hist-compare profile trace vet fmt-check ci ci-full verify
 
 build:
 	$(GO) build ./...
@@ -37,8 +37,26 @@ bench-compare:
 	$(GO) test -run '^$$' -bench '^(BenchmarkAllExperiments|BenchmarkFig|BenchmarkTable|BenchmarkSec5)' \
 		-benchmem -benchtime 1x . | $(GO) run ./tools/benchjson -compare BENCH_suite.json
 
+# Latency distribution baseline: the reference run's full histogram
+# export (every instrument, sparse buckets). Commit the file so latency
+# drift stays visible PR over PR; regenerate after intended model changes.
+hist-json:
+	$(GO) run ./cmd/dramless run -system DRAM-less -kernel gemver \
+		-hist HIST_baseline.json > /dev/null
+
+# Latency regression gate: rerun the reference configuration and diff
+# per-instrument p99 against the committed baseline. The simulator is
+# deterministic, so any drift is a real behavioral change; the 10%
+# threshold only absorbs intended tuning.
+hist-compare:
+	@mkdir -p prof
+	$(GO) run ./cmd/dramless run -system DRAM-less -kernel gemver \
+		-hist prof/hist.current.json > /dev/null
+	$(GO) run ./tools/benchjson -hist prof/hist.current.json -hist-base HIST_baseline.json
+
 # CPU + heap profiles of the Figure 15 sweep (the allocation-heaviest
 # experiment) into ./prof/; inspect with `go tool pprof prof/fig15.cpu`.
+# Profiles are scratch output (gitignored), regenerated on demand here.
 profile:
 	mkdir -p prof
 	$(GO) run ./cmd/dramless experiments \
@@ -64,7 +82,8 @@ fmt-check:
 # tests, race detector, go vet and gofmt. `make verify` is its alias.
 ci: test race vet fmt-check
 
-# ci plus the perf regression gate against the committed baseline.
-ci-full: ci bench-compare
+# ci plus the perf and latency regression gates against the committed
+# baselines.
+ci-full: ci bench-compare hist-compare
 
 verify: ci

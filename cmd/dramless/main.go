@@ -75,6 +75,8 @@ func main() {
 		cmdRun(os.Args[2:])
 	case "trace":
 		cmdTrace(os.Args[2:])
+	case "report":
+		cmdReport(os.Args[2:])
 	case "list":
 		cmdList()
 	case "-h", "--help", "help":
@@ -95,11 +97,17 @@ commands:
         -parallel bounds the simulation worker pool (0 = GOMAXPROCS,
         1 = serial) - output is byte-identical at any setting
   run   -system <name> -kernel <name> [-scale bytes] [-scheduler name]
-        [-trace out.json] [-counters]
+        [-trace out.json] [-hist out.json] [-series out.json] [-counters]
         one end-to-end system simulation with full breakdowns;
         -trace records a simulated-time timeline (open the JSON in
-        chrome://tracing), -counters prints the hardware counters,
-        -scheduler overrides the PRAM controller policy
+        chrome://tracing), -hist exports per-instrument latency
+        histograms and -series windowed time series (.csv extension
+        selects CSV, anything else JSON), -counters prints the hardware
+        counters, -scheduler overrides the PRAM controller policy
+  report [-cdf instrument] <hist.json> [other-hist.json]
+        render percentile tables (p50/p90/p99/p999/max) from a -hist
+        export; with two files, compare them side by side; -cdf prints
+        the named instrument's text CDF (diffable across runs)
 
   experiments and run both take -cpuprofile / -memprofile <file> to
   capture pprof profiles of the simulation (see DESIGN.md §8).
@@ -249,6 +257,8 @@ func cmdRun(args []string) {
 	scale := fs.Int64("scale", 256<<10, "footprint scale in bytes")
 	schedName := fs.String("scheduler", "", "override PRAM controller policy (Bare-metal | Interleaving | Selective-erasing | Final)")
 	traceOut := fs.String("trace", "", "record a simulated-time timeline to this file (chrome://tracing JSON)")
+	histOut := fs.String("hist", "", "export latency histograms to this file (.csv for CSV, else JSON)")
+	seriesOut := fs.String("series", "", "export simulated-time series to this file (.csv for CSV, else JSON)")
 	counters := fs.Bool("counters", false, "print the run's hardware counters")
 	startProf := profileFlags(fs)
 	fs.Parse(args)
@@ -307,6 +317,20 @@ func cmdRun(args []string) {
 			os.Exit(1)
 		}
 		fmt.Printf("timeline: %s (open in chrome://tracing or https://ui.perfetto.dev)\n\n", *traceOut)
+	}
+	if *histOut != "" {
+		if err := writeExport(*histOut, observer.Histograms().WriteJSON, observer.Histograms().WriteCSV); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("latency histograms: %s (render with `dramless report %s`)\n", *histOut, *histOut)
+	}
+	if *seriesOut != "" {
+		if err := writeExport(*seriesOut, observer.Series().WriteJSON, observer.Series().WriteCSV); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("time series: %s\n", *seriesOut)
 	}
 
 	fmt.Printf("%s running %s (%s), footprint %d KiB\n\n", kind, w.Name, w.Class, res.Footprint>>10)

@@ -1,0 +1,148 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"dramless"
+)
+
+// writeExport writes one observability export to path, choosing CSV when
+// the extension is .csv and JSON otherwise.
+func writeExport(path string, asJSON, asCSV func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	write := asJSON
+	if strings.HasSuffix(path, ".csv") {
+		write = asCSV
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// cmdReport renders percentile tables and text CDFs from `run -hist`
+// JSON exports, and diffs two exports side by side.
+func cmdReport(args []string) {
+	fs := flag.NewFlagSet("report", flag.ExitOnError)
+	cdf := fs.String("cdf", "", "print the named instrument's text CDF instead of the percentile table")
+	fs.Parse(args)
+
+	paths := fs.Args()
+	if len(paths) < 1 || len(paths) > 2 {
+		fmt.Fprintln(os.Stderr, "usage: dramless report [-cdf instrument] <hist.json> [other-hist.json]")
+		os.Exit(2)
+	}
+	sets := make([]*dramless.HistogramSet, len(paths))
+	for i, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		sets[i], err = dramless.ReadHistograms(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", p, err)
+			os.Exit(1)
+		}
+	}
+
+	if *cdf != "" {
+		for i, s := range sets {
+			h := s.Lookup(*cdf)
+			if h == nil {
+				fmt.Fprintf(os.Stderr, "%s: no instrument %q (have %s)\n",
+					paths[i], *cdf, strings.Join(s.Names(), ", "))
+				os.Exit(1)
+			}
+			if len(sets) > 1 {
+				fmt.Printf("# %s\n", paths[i])
+			}
+			printCDF(h)
+		}
+		return
+	}
+
+	if len(sets) == 1 {
+		printPercentiles(sets[0])
+		return
+	}
+	printComparison(paths, sets[0], sets[1])
+}
+
+// reportPercentiles is the rendered percentile ladder.
+var reportPercentiles = []float64{50, 90, 99, 99.9}
+
+// printPercentiles renders one percentile table in registration order.
+func printPercentiles(s *dramless.HistogramSet) {
+	fmt.Printf("%-28s %12s %12s %12s %12s %12s %12s\n",
+		"instrument", "count", "p50", "p90", "p99", "p999", "max")
+	for _, h := range s.All() {
+		if h.Count() == 0 {
+			continue
+		}
+		fmt.Printf("%-28s %12d", h.Name(), h.Count())
+		for _, p := range reportPercentiles {
+			fmt.Printf(" %12s", fmtPS(h.Percentile(p)))
+		}
+		fmt.Printf(" %12s\n", fmtPS(h.Max()))
+	}
+}
+
+// printComparison renders two exports' percentiles side by side with the
+// p99 delta, pairing instruments by name in the first file's order.
+func printComparison(paths []string, a, b *dramless.HistogramSet) {
+	fmt.Printf("A = %s\nB = %s\n\n", paths[0], paths[1])
+	fmt.Printf("%-28s %12s %12s %12s %12s %8s\n",
+		"instrument", "A.p50", "B.p50", "A.p99", "B.p99", "Δp99")
+	for _, ha := range a.All() {
+		hb := b.Lookup(ha.Name())
+		if ha.Count() == 0 && hb.Count() == 0 {
+			continue
+		}
+		delta := "n/a"
+		if ap99 := ha.Percentile(99); ap99 > 0 && hb != nil {
+			delta = fmt.Sprintf("%+.1f%%", 100*float64(hb.Percentile(99)-ap99)/float64(ap99))
+		}
+		fmt.Printf("%-28s %12s %12s %12s %12s %8s\n", ha.Name(),
+			fmtPS(ha.Percentile(50)), fmtPS(hb.Percentile(50)),
+			fmtPS(ha.Percentile(99)), fmtPS(hb.Percentile(99)), delta)
+	}
+	for _, hb := range b.All() {
+		if a.Lookup(hb.Name()) == nil {
+			fmt.Printf("%-28s only in B (count %d)\n", hb.Name(), hb.Count())
+		}
+	}
+}
+
+// printCDF renders one instrument's cumulative distribution as text:
+// one line per non-empty bucket, upper bound then cumulative fraction.
+// The format is plain enough to diff two runs' outputs directly.
+func printCDF(h *dramless.Histogram) {
+	fmt.Printf("# %s: %d samples, min %s, max %s\n", h.Name(), h.Count(), fmtPS(h.Min()), fmtPS(h.Max()))
+	var cum int64
+	for _, b := range h.Buckets() {
+		cum += b.Count
+		frac := float64(cum) / float64(h.Count())
+		fmt.Printf("%14d ps  %9.6f  %s\n", b.High-1, frac, cdfBar(frac))
+	}
+}
+
+// cdfBar renders a 40-column fill bar for a cumulative fraction.
+func cdfBar(frac float64) string {
+	n := int(frac * 40)
+	return strings.Repeat("#", n) + strings.Repeat(".", 40-n)
+}
+
+// fmtPS renders a picosecond quantity with a human unit.
+func fmtPS(ps int64) string {
+	return dramless.Duration(ps).String()
+}

@@ -24,6 +24,7 @@ package dramless
 
 import (
 	"fmt"
+	"io"
 	"sync"
 
 	"dramless/internal/accel"
@@ -99,11 +100,39 @@ type Tracer = obs.Tracer
 // TraceEvent is one completed simulated-time span.
 type TraceEvent = obs.TraceEvent
 
+// Histogram is one latency distribution: int64 picosecond samples in
+// fixed log-linear buckets (see DESIGN.md §11). Obtain handles from
+// Observer.Histograms(); a nil *Histogram records as a no-op.
+type Histogram = obs.Histogram
+
+// HistogramSet is an Observer's ordered registry of latency histograms;
+// it exports deterministically as JSON or CSV.
+type HistogramSet = obs.HistogramSet
+
+// HistogramBucket is one non-empty bucket of an exported Histogram.
+type HistogramBucket = obs.Bucket
+
+// Series is one per-simulated-time-window accumulation (bytes moved, PE
+// busy picoseconds, ... per window). Obtain handles from
+// Observer.Series().
+type Series = obs.Series
+
+// SeriesSet is an Observer's ordered registry of time series.
+type SeriesSet = obs.SeriesSet
+
 // NewObserver builds an Observer; pass WithTracing to record timelines.
 func NewObserver(opts ...ObserverOption) *Observer { return obs.New(opts...) }
 
 // WithTracing enables span recording on a NewObserver.
 func WithTracing() ObserverOption { return obs.WithTracing() }
+
+// WithSeriesWindow sets the simulated-time window the observer's series
+// accumulate over (default 10 µs). Must be positive.
+func WithSeriesWindow(window Duration) ObserverOption { return obs.WithSeriesWindow(window) }
+
+// ReadHistograms parses a HistogramSet.WriteJSON export (the `dramless
+// run -hist` output) back into a set for reporting and comparison.
+func ReadHistograms(r io.Reader) (*HistogramSet, error) { return obs.ReadHistogramsJSON(r) }
 
 // Construction options ------------------------------------------------
 //

@@ -401,12 +401,14 @@ func (a *Accelerator) RunKernel(start sim.Time, k workload.Kernel, p workload.Pa
 		}
 		l2cfg := a.cfg.L2
 		l2cfg.Name = fmt.Sprintf("L2.%d", i)
+		l2cfg.Obs = a.cfg.Obs
 		l2, err := cache.New(l2cfg, &mcuPath{a: a, port: i + 1})
 		if err != nil {
 			return nil, err
 		}
 		l1cfg := a.cfg.L1
 		l1cfg.Name = fmt.Sprintf("L1.%d", i)
+		l1cfg.Obs = a.cfg.Obs
 		l1, err := cache.New(l1cfg, l2)
 		if err != nil {
 			return nil, err
@@ -426,6 +428,9 @@ func (a *Accelerator) RunKernel(start sim.Time, k workload.Kernel, p workload.Pa
 			core.SampleIPC(a.cfg.SampleInterval)
 			core.OnSpan(func(s pe.Span) { rep.Spans = append(rep.Spans, s) })
 		}
+		if ss := a.cfg.Obs.Series(); ss != nil {
+			core.ObserveSeries(ss.Get(obs.SeriesPEBusy), ss.Get(obs.SeriesPEStall))
+		}
 		pes = append(pes, core)
 		l1s = append(l1s, l1)
 		l2s = append(l2s, l2)
@@ -443,6 +448,11 @@ func (a *Accelerator) RunKernel(start sim.Time, k workload.Kernel, p workload.Pa
 	// Flush caches so results persist in the backend, then drain posted
 	// work.
 	tr := a.cfg.Obs.Tracer()
+	var hKernel, hFlush *obs.Histogram
+	if hs := a.cfg.Obs.Histograms(); hs != nil {
+		hKernel = hs.Get(obs.HistAccelKernel)
+		hFlush = hs.Get(obs.HistAccelFlush)
+	}
 	end := start
 	for i, core := range pes {
 		fin := core.Now()
@@ -453,6 +463,8 @@ func (a *Accelerator) RunKernel(start sim.Time, k workload.Kernel, p workload.Pa
 		if d, err = l2s[i].Flush(d); err != nil {
 			return nil, err
 		}
+		hKernel.Record(int64(core.ComputeTime() + core.StallTime()))
+		hFlush.Record(int64(d - fin))
 		if tr.Enabled() {
 			kStart := fin - core.ComputeTime() - core.StallTime()
 			track := fmt.Sprintf("pe%d", i)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dramless/internal/cache"
+	"dramless/internal/obs"
 	"dramless/internal/pe"
 	"dramless/internal/sim"
 	"dramless/internal/stats"
@@ -86,10 +87,15 @@ func (a *Accelerator) RunJobs(start sim.Time, jobs []Job) ([]*JobResult, error) 
 			}
 			// Queue wait: how long past submission each placed agent was
 			// still busy with earlier jobs (observability counter).
+			hWait := a.cfg.Obs.Histograms().Get(obs.HistAccelJobWait)
 			for _, id := range wave[w].agentIDs {
-				if wait := agents[id].freeAt - start; wait > 0 {
+				wait := agents[id].freeAt - start
+				if wait > 0 {
 					a.queueWait += wait
+				} else {
+					wait = 0
 				}
+				hWait.Record(int64(wait))
 			}
 			runners, err := a.buildRunners(job.Kernel, p, wave[w].agentIDs, agents)
 			if err != nil {
@@ -192,12 +198,14 @@ func (a *Accelerator) buildRunners(k workload.Kernel, p workload.Params, agentID
 		}
 		l2cfg := a.cfg.L2
 		l2cfg.Name = fmt.Sprintf("L2.a%d", id)
+		l2cfg.Obs = a.cfg.Obs
 		l2, err := cache.New(l2cfg, &mcuPath{a: a, port: id + 1})
 		if err != nil {
 			return nil, err
 		}
 		l1cfg := a.cfg.L1
 		l1cfg.Name = fmt.Sprintf("L1.a%d", id)
+		l1cfg.Obs = a.cfg.Obs
 		l1, err := cache.New(l1cfg, l2)
 		if err != nil {
 			return nil, err
@@ -213,6 +221,9 @@ func (a *Accelerator) buildRunners(k workload.Kernel, p workload.Params, agentID
 		if a.cfg.SampleInterval > 0 {
 			core.SampleIPC(a.cfg.SampleInterval)
 		}
+		if ss := a.cfg.Obs.Series(); ss != nil {
+			core.ObserveSeries(ss.Get(obs.SeriesPEBusy), ss.Get(obs.SeriesPEStall))
+		}
 		runners = append(runners, &jobRunner{core: core, l1: l1, l2: l2})
 	}
 	return runners, nil
@@ -226,6 +237,11 @@ func (a *Accelerator) collectReport(runners []*jobRunner) (*Report, error) {
 	if a.cfg.SampleInterval > 0 {
 		rep.IPC = stats.NewSeries(a.cfg.SampleInterval)
 	}
+	var hKernel, hFlush *obs.Histogram
+	if hs := a.cfg.Obs.Histograms(); hs != nil {
+		hKernel = hs.Get(obs.HistAccelKernel)
+		hFlush = hs.Get(obs.HistAccelFlush)
+	}
 	for _, r := range runners {
 		fin := r.core.Now()
 		d, err := r.l1.Flush(fin)
@@ -236,6 +252,8 @@ func (a *Accelerator) collectReport(runners []*jobRunner) (*Report, error) {
 			return nil, err
 		}
 		r.finished = d
+		hKernel.Record(int64(r.core.ComputeTime() + r.core.StallTime()))
+		hFlush.Record(int64(d - fin))
 		if err := a.psc.Sleep(d, r.core.ID); err != nil {
 			return nil, err
 		}

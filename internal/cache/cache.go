@@ -8,6 +8,7 @@ package cache
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 
 	"dramless/internal/mem"
@@ -22,6 +23,20 @@ type Config struct {
 	LineBytes  int
 	Ways       int
 	HitLatency sim.Duration
+	// Obs attaches per-access hit/miss latency histograms
+	// ("cache.l1.hit_ps", ...; the level is the Name's prefix before the
+	// first dot, lowercased). Nil disables recording at one pointer
+	// check per access.
+	Obs *obs.Observer
+}
+
+// histLevel returns the instrument level slug of the cache ("l1", "l2").
+func (c Config) histLevel() string {
+	name := c.Name
+	if i := strings.IndexByte(name, '.'); i >= 0 {
+		name = name[:i]
+	}
+	return strings.ToLower(name)
 }
 
 // L1Data returns the paper platform's 64 KB 2-way L1 with 64 B lines
@@ -104,6 +119,11 @@ type Cache struct {
 	store   *storage
 	tick    int64
 	stats   Stats
+
+	// Per-access latency instruments, resolved once at construction
+	// (nil when observation is off; the nil handles no-op).
+	hHit  *obs.Histogram
+	hMiss *obs.Histogram
 }
 
 // storage is a cache's construction-time storage, recycled across
@@ -164,6 +184,11 @@ func New(cfg Config, lower mem.Device) (*Cache, error) {
 		sets:    st.sets,
 		slab:    st.slab,
 		store:   st,
+	}
+	if hs := cfg.Obs.Histograms(); hs != nil {
+		lvl := cfg.histLevel()
+		c.hHit = hs.Get("cache." + lvl + ".hit_ps")
+		c.hMiss = hs.Get("cache." + lvl + ".miss_ps")
 	}
 	for i := range c.sets {
 		ways := st.lines[i*cfg.Ways : (i+1)*cfg.Ways : (i+1)*cfg.Ways]
@@ -252,6 +277,9 @@ func (c *Cache) victim(set int) int {
 func (c *Cache) fill(at sim.Time, set int, tag uint64) (int, sim.Time, error) {
 	if w := c.lookup(set, tag); w >= 0 {
 		c.stats.Hits++
+		if c.hHit != nil {
+			c.hHit.Record(int64(c.cfg.HitLatency))
+		}
 		return w, at + c.cfg.HitLatency, nil
 	}
 	c.stats.Misses++
@@ -280,6 +308,9 @@ func (c *Cache) fill(at sim.Time, set int, tag uint64) (int, sim.Time, error) {
 	}
 	c.stats.BytesBelow += int64(c.cfg.LineBytes)
 	ln.valid, ln.dirty, ln.tag = true, false, tag
+	if c.hMiss != nil {
+		c.hMiss.Record(int64(done - at))
+	}
 	return w, done, nil
 }
 
@@ -429,8 +460,12 @@ func (c *Cache) ReadRun(now sim.Time, r mem.Run, dst []byte) (mem.RunResult, err
 		start := res.Now + r.Gap
 		var done sim.Time
 		if w := c.lookup(set, tag); w >= 0 {
-			// Hit fast path: same stats/LRU effects as fill's hit arm.
+			// Hit fast path: same stats/LRU/instrument effects as fill's
+			// hit arm.
 			c.stats.Hits++
+			if c.hHit != nil {
+				c.hHit.Record(int64(c.cfg.HitLatency))
+			}
 			c.tick++
 			ln := &c.sets[set][w]
 			ln.lastUse = c.tick
@@ -459,6 +494,9 @@ func (c *Cache) ReadRun(now sim.Time, r mem.Run, dst []byte) (mem.RunResult, err
 		res.Stall += end - start
 		res.Now = end
 		res.Done++
+		if r.OnOp != nil {
+			r.OnOp(start, end)
+		}
 		addr = uint64(int64(addr) + r.Stride)
 	}
 	if pend != nil {
@@ -482,6 +520,9 @@ func (c *Cache) WriteRun(now sim.Time, r mem.Run, src []byte) (mem.RunResult, er
 		var done sim.Time
 		if w := c.lookup(set, tag); w >= 0 {
 			c.stats.Hits++
+			if c.hHit != nil {
+				c.hHit.Record(int64(c.cfg.HitLatency))
+			}
 			c.tick++
 			ln := &c.sets[set][w]
 			ln.lastUse = c.tick
@@ -505,6 +546,9 @@ func (c *Cache) WriteRun(now sim.Time, r mem.Run, src []byte) (mem.RunResult, er
 		res.Stall += end - start
 		res.Now = end
 		res.Done++
+		if r.OnOp != nil {
+			r.OnOp(start, end)
+		}
 		addr = uint64(int64(addr) + r.Stride)
 	}
 	return res, nil

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"dramless/internal/obs"
+	"dramless/internal/runner"
+	"dramless/internal/system"
+	"dramless/internal/workload"
+)
+
+type obsCell struct {
+	kind   system.Kind
+	kernel string
+}
+
+// collectObserved runs every cell on a pool of the given width with a
+// fresh per-cell Observer (an Observer is single-run state and must not
+// be shared across pooled simulations), then merges the per-cell
+// registries in fixed cell order.
+func collectObserved(t *testing.T, workers int, cells []obsCell) (*obs.HistogramSet, *obs.SeriesSet) {
+	t.Helper()
+	r := runner.New(workers, func(c obsCell) (*obs.Observer, error) {
+		cfg := system.DefaultConfig(c.kind)
+		cfg.Scale = 128 << 10
+		cfg.SSDCapacity = 64 << 20
+		cfg.Obs = obs.New()
+		if _, err := system.Run(cfg, workload.MustByName(c.kernel)); err != nil {
+			return nil, err
+		}
+		return cfg.Obs, nil
+	})
+	keys := make([]obsCell, len(cells))
+	copy(keys, cells)
+	r.Prefetch(keys...)
+
+	hists := &obs.HistogramSet{}
+	series := obs.NewSeriesSet(obs.DefaultSeriesWindow)
+	for _, c := range cells {
+		o, err := r.Get(c)
+		if err != nil {
+			t.Fatalf("%v/%s: %v", c.kind, c.kernel, err)
+		}
+		hists.Merge(o.Histograms())
+		series.Merge(o.Series())
+	}
+	return hists, series
+}
+
+// TestObservedMergeSerialMatchesParallel pins the acceptance property
+// for observed fleets: a serial pool and an 8-worker pool over the same
+// cells produce byte-identical merged histogram and series exports.
+// Each simulation is single-goroutine deterministic and the merge order
+// is the fixed cell order, so worker count must be invisible.
+func TestObservedMergeSerialMatchesParallel(t *testing.T) {
+	var cells []obsCell
+	for _, kind := range system.Kinds() {
+		cells = append(cells,
+			obsCell{kind: kind, kernel: "gemver"},
+			obsCell{kind: kind, kernel: "jaco1d"},
+		)
+	}
+
+	sh, ss := collectObserved(t, 1, cells)
+	ph, ps := collectObserved(t, 8, cells)
+
+	if !sh.Equal(ph) {
+		t.Errorf("merged histograms differ:\n%s", sh.Diff(ph))
+	}
+	if !ss.Equal(ps) {
+		t.Errorf("merged series differ:\n%s", ss.Diff(ps))
+	}
+
+	var sb, pb bytes.Buffer
+	if err := sh.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if err := ph.WriteJSON(&pb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sb.Bytes(), pb.Bytes()) {
+		t.Error("merged histogram JSON exports are not byte-identical")
+	}
+	sb.Reset()
+	pb.Reset()
+	if err := ss.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if err := ps.WriteCSV(&pb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sb.Bytes(), pb.Bytes()) {
+		t.Error("merged series CSV exports are not byte-identical")
+	}
+}

@@ -15,6 +15,15 @@ type Run struct {
 	Count  int          // number of accesses
 	Gap    sim.Duration // local-time gap before each access
 	Issue  sim.Duration // minimum occupancy per access
+
+	// OnOp, when non-nil, observes every completed access of the run:
+	// start is the access's issue time (its Gap compute stretch ends at
+	// start) and end is when the issuer may proceed (the later of
+	// completion and the issue slot). Every Batcher implementation must
+	// invoke it per access with exactly the times the scalar reference
+	// loop would produce — it is how the PE's latency/utilization
+	// instruments see through the batched fast paths.
+	OnOp func(start, end sim.Time)
 }
 
 // RunResult reports (possibly partial) execution of a Run.
@@ -80,6 +89,9 @@ func ReadRunLoop(d Device, now sim.Time, r Run, dst []byte) (RunResult, error) {
 			return res, err
 		}
 		advance(&res, start, done, r.Issue)
+		if r.OnOp != nil {
+			r.OnOp(start, res.Now)
+		}
 		addr = uint64(int64(addr) + r.Stride)
 	}
 	return res, nil
@@ -96,6 +108,9 @@ func WriteRunLoop(d Device, now sim.Time, r Run, src []byte) (RunResult, error) 
 			return res, err
 		}
 		advance(&res, start, done, r.Issue)
+		if r.OnOp != nil {
+			r.OnOp(start, res.Now)
+		}
 		addr = uint64(int64(addr) + r.Stride)
 	}
 	return res, nil
@@ -143,6 +158,9 @@ func (f *Flat) ReadRun(now sim.Time, r Run, dst []byte) (RunResult, error) {
 		f.reads++
 		f.bytesOut += int64(r.Size)
 		advance(&res, start, done, r.Issue)
+		if r.OnOp != nil {
+			r.OnOp(start, res.Now)
+		}
 	}
 	if r.Count > 0 {
 		f.store.ReadInto(uint64(int64(r.Addr)+int64(r.Count-1)*r.Stride), dst[:r.Size])
@@ -165,6 +183,9 @@ func (f *Flat) WriteRun(now sim.Time, r Run, src []byte) (RunResult, error) {
 		f.writes++
 		f.bytesIn += int64(r.Size)
 		advance(&res, start, done, r.Issue)
+		if r.OnOp != nil {
+			r.OnOp(start, res.Now)
+		}
 		addr = uint64(int64(addr) + r.Stride)
 	}
 	return res, nil

@@ -49,8 +49,31 @@ type channel struct {
 	proc   string
 	tracks []string
 
+	// Latency/series instruments, resolved once at construction and
+	// shared across channels (one distribution per instrument name).
+	// hRead is indexed by read outcome; all nil when observation is off,
+	// checked once per access.
+	hRead         [4]*obs.Histogram
+	hWriteFull    *obs.Histogram
+	hWriteRMW     *obs.Histogram
+	sBytesRead    *obs.Series
+	sBytesWritten *obs.Series
+	sReads        *obs.Series
+	sRDBHits      *obs.Series
+	sRABHits      *obs.Series
+
 	stats Stats
 }
+
+// Read outcomes (hRead indices): full three-phase access, both phases
+// skipped (RDB hit), pre-active skipped (RAB hit), and reads that
+// paused an in-flight program (write pausing; overrides the others).
+const (
+	outFull = iota
+	outRDB
+	outRAB
+	outPaused
+)
 
 func newChannel(idx int, cfg Config) (*channel, error) {
 	ch := &channel{
@@ -78,7 +101,55 @@ func newChannel(idx int, cfg Config) (*channel, error) {
 		m.EnableWritePausing(cfg.WritePausing)
 		ch.modules = append(ch.modules, m)
 	}
+	if hs := cfg.Obs.Histograms(); hs != nil {
+		ch.hRead[outFull] = hs.Get(obs.HistMemReadFull)
+		ch.hRead[outRDB] = hs.Get(obs.HistMemReadRDBHit)
+		ch.hRead[outRAB] = hs.Get(obs.HistMemReadRABHit)
+		ch.hRead[outPaused] = hs.Get(obs.HistMemReadPaused)
+		ch.hWriteFull = hs.Get(obs.HistMemWriteFull)
+		ch.hWriteRMW = hs.Get(obs.HistMemWriteRMW)
+	}
+	if ss := cfg.Obs.Series(); ss != nil {
+		ch.sBytesRead = ss.Get(obs.SeriesMemBytesRead)
+		ch.sBytesWritten = ss.Get(obs.SeriesMemBytesWritten)
+		ch.sReads = ss.Get(obs.SeriesMemReads)
+		ch.sRDBHits = ss.Get(obs.SeriesMemRDBHits)
+		ch.sRABHits = ss.Get(obs.SeriesMemRABHits)
+		pauseS := ss.Get(obs.SeriesMemWritePause)
+		for _, m := range ch.modules {
+			m.SetPauseHook(func(at sim.Time, stretch sim.Duration) {
+				pauseS.Add(at, int64(stretch))
+			})
+		}
+	}
 	return ch, nil
+}
+
+// recordRead feeds one completed demand read into the latency and
+// series instruments. Call sites guard on ch.hRead[outFull] != nil:
+// the method is beyond the inlining budget, so the guard keeps the
+// observation-off hot path free of the call.
+func (ch *channel) recordRead(out uint8, at, done sim.Time, n int) {
+	ch.hRead[out].Record(int64(done - at))
+	ch.sReads.Add(at, 1)
+	switch out {
+	case outRDB:
+		ch.sRDBHits.Add(at, 1)
+	case outRAB:
+		ch.sRABHits.Add(at, 1)
+	}
+	ch.sBytesRead.Add(done, int64(n))
+}
+
+// recordWrite feeds one accepted write into the instruments. Call
+// sites guard on ch.hWriteFull != nil (see recordRead).
+func (ch *channel) recordWrite(fullRow bool, at, done sim.Time, n int) {
+	if fullRow {
+		ch.hWriteFull.Record(int64(done - at))
+	} else {
+		ch.hWriteRMW.Record(int64(done - at))
+	}
+	ch.sBytesWritten.Add(done, int64(n))
 }
 
 // issue charges one command packet on the CA bus and returns when the
@@ -124,9 +195,11 @@ func (ch *channel) victimBA(mod int) uint8 {
 }
 
 // bindRow makes module mod's RDB hold rowAddr, skipping whatever phases
-// the buffered state allows, and returns the buffer pair and the time the
-// row data is available.
-func (ch *channel) bindRow(at sim.Time, mod int, rowAddr uint64) (ba uint8, done sim.Time, err error) {
+// the buffered state allows, and returns the buffer pair, the time the
+// row data is available, and the access outcome for the latency
+// instruments (which phases were skipped, or outPaused when the
+// activate had to pause an in-flight program).
+func (ch *channel) bindRow(at sim.Time, mod int, rowAddr uint64) (ba uint8, done sim.Time, out uint8, err error) {
 	m := ch.modules[mod]
 	upper, lower := ch.cfg.Geometry.SplitRow(rowAddr)
 
@@ -134,14 +207,19 @@ func (ch *channel) bindRow(at sim.Time, mod int, rowAddr uint64) (ba uint8, done
 		if hit, ok := m.RDBHit(rowAddr); ok {
 			// Both addressing phases skipped: data is already sensed.
 			ch.stats.ActivateSkips++
-			return hit, at, nil
+			return hit, at, outRDB, nil
 		}
 		if hit, ok := m.RABHit(upper); ok {
 			// Pre-active phase skipped: reuse the loaded RAB.
 			ch.stats.PreactiveSkips++
 			devAt := ch.issue(at)
+			p0 := m.Pauses()
 			done, err = m.Activate(devAt, hit, lower)
-			return hit, done, err
+			out = outRAB
+			if m.Pauses() != p0 {
+				out = outPaused
+			}
+			return hit, done, out, err
 		}
 	}
 	ch.stats.FullAccesses++
@@ -149,11 +227,16 @@ func (ch *channel) bindRow(at sim.Time, mod int, rowAddr uint64) (ba uint8, done
 	devAt := ch.issue(at)
 	done, err = m.Preactive(devAt, ba, upper)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, 0, err
 	}
 	devAt = ch.issue(done)
+	p0 := m.Pauses()
 	done, err = m.Activate(devAt, ba, lower)
-	return ba, done, err
+	out = outFull
+	if m.Pauses() != p0 {
+		out = outPaused
+	}
+	return ba, done, out, err
 }
 
 // rowReq is one row-granule read within a batch. dst is the
@@ -168,6 +251,7 @@ type rowReq struct {
 	done sim.Time
 
 	ba       uint8
+	out      uint8    // read outcome for the latency instruments
 	preDone  sim.Time // pre-active complete (phase 1)
 	rowReady sim.Time // activate complete (phase 2)
 	needAct  bool
@@ -230,7 +314,7 @@ func (ch *channel) readBatch(at sim.Time, reqs []rowReq) error {
 // readOne runs all three phases of a single request back to back.
 func (ch *channel) readOne(r *rowReq, at sim.Time) error {
 	m := ch.modules[r.mod]
-	ba, rowReady, err := ch.bindRow(at, r.mod, r.row)
+	ba, rowReady, out, err := ch.bindRow(at, r.mod, r.row)
 	if err != nil {
 		return err
 	}
@@ -241,6 +325,9 @@ func (ch *channel) readOne(r *rowReq, at sim.Time) error {
 	}
 	ch.stats.Reads++
 	ch.stats.BytesRead += int64(len(r.dst))
+	if ch.hRead[outFull] != nil {
+		ch.recordRead(out, at, r.done, len(r.dst))
+	}
 	if ch.tr != nil {
 		ch.tr.Span(ch.proc, ch.tracks[r.mod], "read", at, r.done)
 	}
@@ -269,17 +356,20 @@ func (ch *channel) readWave(at sim.Time, wave []*rowReq) error {
 			if ba, ok := m.RDBHit(r.row); ok && claimed[r.mod]&(1<<ba) == 0 {
 				ch.stats.ActivateSkips++
 				r.ba, r.rowReady, r.needAct = ba, at, false
+				r.out = outRDB
 				claimed[r.mod] |= 1 << ba
 				continue
 			}
 			if ba, ok := m.RABHit(upper); ok && claimed[r.mod]&(1<<ba) == 0 {
 				ch.stats.PreactiveSkips++
 				r.ba, r.preDone, r.needAct = ba, at, true
+				r.out = outRAB
 				claimed[r.mod] |= 1 << ba
 				continue
 			}
 		}
 		ch.stats.FullAccesses++
+		r.out = outFull
 		r.ba = ch.victimBA(r.mod)
 		for i := 0; claimed[r.mod]&(1<<r.ba) != 0 && i < ch.cfg.Params.NumRAB; i++ {
 			r.ba = ch.victimBA(r.mod)
@@ -300,9 +390,14 @@ func (ch *channel) readWave(at sim.Time, wave []*rowReq) error {
 		}
 		_, lower := ch.cfg.Geometry.SplitRow(r.row)
 		devAt := ch.issue(r.preDone)
-		done, err := ch.modules[r.mod].Activate(devAt, r.ba, lower)
+		m := ch.modules[r.mod]
+		p0 := m.Pauses()
+		done, err := m.Activate(devAt, r.ba, lower)
 		if err != nil {
 			return err
+		}
+		if m.Pauses() != p0 {
+			r.out = outPaused
 		}
 		r.rowReady = done
 	}
@@ -317,6 +412,9 @@ func (ch *channel) readWave(at sim.Time, wave []*rowReq) error {
 		r.done = done
 		ch.stats.Reads++
 		ch.stats.BytesRead += int64(len(r.dst))
+		if ch.hRead[outFull] != nil {
+			ch.recordRead(r.out, at, r.done, len(r.dst))
+		}
 		if ch.tr != nil {
 			if r.needAct {
 				ch.tr.Span(ch.proc, ch.tracks[r.mod], "sense", at, r.rowReady)
@@ -369,6 +467,7 @@ func (ch *channel) prefetch(at sim.Time, mod int, rowAddr uint64) {
 // module's program-buffer availability.
 func (ch *channel) writeRow(at sim.Time, mod int, rowAddr uint64, col int, data []byte) (done sim.Time, err error) {
 	at = ch.gate(at, mod)
+	entry := at
 	m := ch.modules[mod]
 	rb := ch.cfg.Geometry.RowBytes
 
@@ -404,6 +503,9 @@ func (ch *channel) writeRow(at sim.Time, mod int, rowAddr uint64, col int, data 
 	}
 	ch.stats.Writes++
 	ch.stats.BytesWritten += int64(len(data))
+	if ch.hWriteFull != nil {
+		ch.recordWrite(fullRow, entry, done, len(data))
+	}
 	if ch.tr != nil {
 		ch.tr.Span(ch.proc, ch.tracks[mod], "program", at, done)
 	}
@@ -500,6 +602,9 @@ func (ch *channel) writeWave(at sim.Time, wave []*writeReq) error {
 		r.done = d
 		ch.stats.Writes++
 		ch.stats.BytesWritten += int64(len(r.data))
+		if ch.hWriteFull != nil {
+			ch.recordWrite(true, at, r.done, len(r.data))
+		}
 		if ch.tr != nil {
 			ch.tr.Span(ch.proc, ch.tracks[r.mod], "program", at, r.done)
 		}

@@ -1,0 +1,70 @@
+package obs
+
+import "testing"
+
+// TestCountersDiffGaugeOnly pins Diff's output for gauge-only
+// registries: deterministic sorted-name ordering, gauge values rendered,
+// and kind mismatches reported — the failure-message path the
+// equivalence tests lean on.
+func TestCountersDiffGaugeOnly(t *testing.T) {
+	var a, b Counters
+	// Register in opposite orders; Diff must still report in sorted
+	// name order, independent of registration order.
+	a.SetGauge("z.rate", 0.5)
+	a.SetGauge("m.rate", 0.25)
+	a.SetGauge("a.rate", 1.0)
+	b.SetGauge("a.rate", 1.0)
+	b.SetGauge("m.rate", 0.75)
+	b.SetGauge("z.rate", 0.125)
+
+	want := "  m.rate: 0/0.25 != 0/0.75\n" +
+		"  z.rate: 0/0.5 != 0/0.125\n"
+	if got := a.Diff(&b); got != want {
+		t.Errorf("gauge-only Diff:\n%q\nwant:\n%q", got, want)
+	}
+	// Deterministic: repeated calls are byte-identical (the name set is
+	// map-backed internally; the sort must hide that).
+	for i := 0; i < 4; i++ {
+		if got := a.Diff(&b); got != want {
+			t.Fatalf("Diff is not deterministic, call %d: %q", i, got)
+		}
+	}
+}
+
+func TestCountersDiffKindAndOrder(t *testing.T) {
+	// Same name, same zero values, different kinds: Equal is false and
+	// Diff must say why.
+	var a, b Counters
+	a.SetGauge("x", 0)
+	b.Add("x", 0)
+	if a.Equal(&b) {
+		t.Fatal("gauge and counter of the same name must not be Equal")
+	}
+	if got, want := a.Diff(&b), "  x: gauge != counter\n"; got != want {
+		t.Errorf("kind mismatch Diff = %q, want %q", got, want)
+	}
+
+	// Identical values in different registration order: Equal is false,
+	// so Diff must be non-empty (order skew is a real difference).
+	var c, d Counters
+	c.SetGauge("first", 1)
+	c.SetGauge("second", 2)
+	d.SetGauge("second", 2)
+	d.SetGauge("first", 1)
+	if c.Equal(&d) {
+		t.Fatal("registration order is part of Equal")
+	}
+	if got := c.Diff(&d); got == "" {
+		t.Error("Diff must report registration-order skew when Equal is false")
+	} else if got != "  position 0: \"first\" != \"second\" (registration order differs)\n" {
+		t.Errorf("order-skew Diff = %q", got)
+	}
+
+	// Equal registries diff empty.
+	var e, f Counters
+	e.Add("n", 3)
+	f.Add("n", 3)
+	if got := e.Diff(&f); got != "" {
+		t.Errorf("equal registries must Diff empty, got %q", got)
+	}
+}

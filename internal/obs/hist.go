@@ -1,0 +1,480 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+)
+
+// Histogram geometry: log-linear (HDR-style) buckets over non-negative
+// int64 picosecond samples. Each power-of-two octave is divided into
+// 2^histSubBits equal-width sub-buckets, so relative error is bounded by
+// 1/2^histSubBits (~3%) at every magnitude while the bucket count stays
+// fixed — the counts array is preallocated once and Record is a shift,
+// an add and two compares (zero allocations, pinned).
+const (
+	histSubBits = 5
+	histSubs    = 1 << histSubBits // sub-buckets per octave
+	// histBuckets covers every non-negative int64: the maximum sample
+	// 2^63-1 lands in bucket (63-histSubBits-1)*histSubs + (histSubs*2-1).
+	histBuckets = (63-histSubBits)*histSubs + histSubs
+)
+
+// histBucketOf maps a non-negative sample to its bucket index.
+func histBucketOf(v int64) int {
+	shift := bits.Len64(uint64(v)) - histSubBits - 1
+	if shift < 0 {
+		shift = 0
+	}
+	return shift<<histSubBits + int(uint64(v)>>uint(shift))
+}
+
+// histBucketBounds returns bucket i's value range [low, high). The last
+// bucket's true upper bound is 2^63, which int64 cannot hold; it clamps
+// to MaxInt64, so that one bucket is [low, MaxInt64] inclusive.
+func histBucketBounds(i int) (low, high int64) {
+	if i < 2*histSubs {
+		return int64(i), int64(i) + 1
+	}
+	s := uint(i/histSubs - 1)
+	low = int64(i-int(s)*histSubs) << s
+	high = low + int64(1)<<s
+	if high < low {
+		high = math.MaxInt64
+	}
+	return low, high
+}
+
+// Histogram is a fixed-geometry latency distribution: int64 samples
+// (picoseconds by convention) in log-linear buckets. The zero value is
+// NOT ready to use — obtain instances from a HistogramSet, which
+// preallocates the bucket array so recording never allocates. All
+// methods are nil-safe; a nil *Histogram is the disabled handle model
+// code holds when observation is off.
+type Histogram struct {
+	name   string
+	counts []int64
+	n      int64
+	sum    int64
+	min    int64
+	max    int64
+}
+
+func newHistogram(name string) *Histogram {
+	return &Histogram{name: name, counts: make([]int64, histBuckets), min: math.MaxInt64}
+}
+
+// Name returns the instrument name.
+func (h *Histogram) Name() string {
+	if h == nil {
+		return ""
+	}
+	return h.name
+}
+
+// Record adds one sample. Negative samples clamp to zero (latencies are
+// non-negative by construction; clamping keeps a model bug from
+// corrupting the geometry). Nil-safe and allocation-free.
+func (h *Histogram) Record(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.counts[histBucketOf(v)]++
+	h.n++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns how many samples were recorded.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.n
+}
+
+// Sum returns the summed sample values.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum
+}
+
+// Min returns the smallest recorded sample (0 when empty).
+func (h *Histogram) Min() int64 {
+	if h == nil || h.n == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest recorded sample (0 when empty).
+func (h *Histogram) Max() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.max
+}
+
+// Percentile returns the value at or below which p percent of the
+// samples lie: the inclusive upper edge of the bucket holding the
+// sample of rank ceil(p/100*n), clamped to the observed min/max so
+// exact extremes survive the bucketing. Returns 0 on an empty
+// histogram.
+func (h *Histogram) Percentile(p float64) int64 {
+	if h == nil || h.n == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(p / 100 * float64(h.n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.n {
+		rank = h.n
+	}
+	var cum int64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			_, high := histBucketBounds(i)
+			v := high - 1
+			if v > h.max {
+				v = h.max
+			}
+			if v < h.min {
+				v = h.min
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+// Bucket is one non-empty histogram bucket: Count samples in [Low, High).
+type Bucket struct {
+	Low   int64
+	High  int64
+	Count int64
+}
+
+// Buckets returns the non-empty buckets in ascending value order (the
+// data behind a CDF rendering). Nil-safe; allocates the result.
+func (h *Histogram) Buckets() []Bucket {
+	if h == nil || h.n == 0 {
+		return nil
+	}
+	out := make([]Bucket, 0, 16)
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		low, high := histBucketBounds(i)
+		out = append(out, Bucket{Low: low, High: high, Count: c})
+	}
+	return out
+}
+
+// Mean returns the average sample (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h == nil || h.n == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.n)
+}
+
+// Merge accumulates other into h. Nil-safe on both sides.
+func (h *Histogram) Merge(other *Histogram) {
+	if h == nil || other == nil || other.n == 0 {
+		return
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.n += other.n
+	h.sum += other.sum
+	if other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+}
+
+// Equal reports whether both histograms hold identical distributions.
+func (h *Histogram) Equal(other *Histogram) bool {
+	if h.Count() == 0 && other.Count() == 0 {
+		return true
+	}
+	if h == nil || other == nil {
+		return false
+	}
+	if h.n != other.n || h.sum != other.sum || h.min != other.min || h.max != other.max {
+		return false
+	}
+	for i, c := range h.counts {
+		if c != other.counts[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Diff returns a human-readable description of the first few bucket
+// differences (for test failure messages); empty when Equal.
+func (h *Histogram) Diff(other *Histogram) string {
+	if h.Equal(other) {
+		return ""
+	}
+	out := ""
+	if h.Count() != other.Count() || h.Sum() != other.Sum() {
+		out += fmt.Sprintf("  count %d/%d sum %d/%d min %d/%d max %d/%d\n",
+			h.Count(), other.Count(), h.Sum(), other.Sum(), h.Min(), other.Min(), h.Max(), other.Max())
+	}
+	diffs := 0
+	for i := 0; i < histBuckets && diffs < 8; i++ {
+		var a, b int64
+		if h != nil {
+			a = h.counts[i]
+		}
+		if other != nil {
+			b = other.counts[i]
+		}
+		if a != b {
+			low, high := histBucketBounds(i)
+			out += fmt.Sprintf("  bucket %d [%d,%d): %d != %d\n", i, low, high, a, b)
+			diffs++
+		}
+	}
+	return out
+}
+
+// histBucketJSON is one non-empty bucket in the JSON export.
+type histBucketJSON struct {
+	Bucket int   `json:"bucket"`
+	Low    int64 `json:"low"`
+	High   int64 `json:"high"`
+	Count  int64 `json:"count"`
+}
+
+// histJSON is one histogram in the JSON export. Only non-empty buckets
+// are listed; the fixed geometry reconstructs the rest on import.
+type histJSON struct {
+	Name    string           `json:"name"`
+	Count   int64            `json:"count"`
+	Sum     int64            `json:"sum"`
+	Min     int64            `json:"min"`
+	Max     int64            `json:"max"`
+	Buckets []histBucketJSON `json:"buckets"`
+}
+
+func (h *Histogram) toJSON() histJSON {
+	out := histJSON{Name: h.Name(), Count: h.Count(), Sum: h.Sum(), Min: h.Min(), Max: h.Max()}
+	if h == nil {
+		return out
+	}
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		low, high := histBucketBounds(i)
+		out.Buckets = append(out.Buckets, histBucketJSON{Bucket: i, Low: low, High: high, Count: c})
+	}
+	return out
+}
+
+// HistogramSet is an ordered registry of named histograms: Get returns a
+// stable handle, creating (and preallocating) the histogram on first
+// use, so instrument sites resolve their handle once at construction and
+// record without lookups. Registration order is deterministic because
+// every instrumented component resolves its handles in fixed code order.
+type HistogramSet struct {
+	idx  map[string]int
+	list []*Histogram
+}
+
+// Get returns the named histogram, registering it on first use. A nil
+// set returns a nil (safely recordable) handle.
+func (s *HistogramSet) Get(name string) *Histogram {
+	if s == nil {
+		return nil
+	}
+	if i, ok := s.idx[name]; ok {
+		return s.list[i]
+	}
+	if s.idx == nil {
+		s.idx = make(map[string]int)
+	}
+	h := newHistogram(name)
+	s.idx[name] = len(s.list)
+	s.list = append(s.list, h)
+	return h
+}
+
+// Lookup returns the named histogram without registering it.
+func (s *HistogramSet) Lookup(name string) *Histogram {
+	if s == nil {
+		return nil
+	}
+	if i, ok := s.idx[name]; ok {
+		return s.list[i]
+	}
+	return nil
+}
+
+// Len returns how many histograms are registered.
+func (s *HistogramSet) Len() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.list)
+}
+
+// Names returns every registered name in registration order.
+func (s *HistogramSet) Names() []string {
+	if s == nil {
+		return nil
+	}
+	out := make([]string, len(s.list))
+	for i, h := range s.list {
+		out[i] = h.name
+	}
+	return out
+}
+
+// All returns the histograms in registration order. The slice is shared;
+// callers must not mutate it.
+func (s *HistogramSet) All() []*Histogram {
+	if s == nil {
+		return nil
+	}
+	return s.list
+}
+
+// Merge accumulates other's histograms into s, registering new names at
+// the tail in other's order.
+func (s *HistogramSet) Merge(other *HistogramSet) {
+	if s == nil || other == nil {
+		return
+	}
+	for _, h := range other.list {
+		s.Get(h.name).Merge(h)
+	}
+}
+
+// Equal reports whether both sets hold the same histograms in the same
+// order with identical distributions.
+func (s *HistogramSet) Equal(other *HistogramSet) bool {
+	if s.Len() != other.Len() {
+		return false
+	}
+	for i, h := range s.All() {
+		o := other.list[i]
+		if h.name != o.name || !h.Equal(o) {
+			return false
+		}
+	}
+	return true
+}
+
+// Diff returns a description of the first differences between two sets;
+// empty when Equal.
+func (s *HistogramSet) Diff(other *HistogramSet) string {
+	if s.Len() != other.Len() {
+		return fmt.Sprintf("  %d histograms != %d\n", s.Len(), other.Len())
+	}
+	for i, h := range s.All() {
+		o := other.list[i]
+		if h.name != o.name {
+			return fmt.Sprintf("  position %d: %q != %q\n", i, h.name, o.name)
+		}
+		if d := h.Diff(o); d != "" {
+			return h.name + ":\n" + d
+		}
+	}
+	return ""
+}
+
+// MarshalJSON renders the set as an ordered array of histograms with
+// sparse bucket lists. The export is byte-deterministic: order is
+// registration order and every field is integer.
+func (s *HistogramSet) MarshalJSON() ([]byte, error) {
+	out := make([]histJSON, 0, s.Len())
+	for _, h := range s.All() {
+		out = append(out, h.toJSON())
+	}
+	return json.Marshal(out)
+}
+
+// WriteJSON writes the set as indented JSON (the `-hist file.json`
+// format; ReadHistogramsJSON parses it back).
+func (s *HistogramSet) WriteJSON(w io.Writer) error {
+	out := make([]histJSON, 0, s.Len())
+	for _, h := range s.All() {
+		out = append(out, h.toJSON())
+	}
+	b, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// WriteCSV writes one row per non-empty bucket:
+// name,low,high,count,cum — the cumulative column makes the file a
+// ready-to-plot CDF per instrument.
+func (s *HistogramSet) WriteCSV(w io.Writer) error {
+	if _, err := io.WriteString(w, "name,low,high,count,cum\n"); err != nil {
+		return err
+	}
+	for _, h := range s.All() {
+		var cum int64
+		for i, c := range h.counts {
+			if c == 0 {
+				continue
+			}
+			cum += c
+			low, high := histBucketBounds(i)
+			if _, err := fmt.Fprintf(w, "%s,%d,%d,%d,%d\n", h.name, low, high, c, cum); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ReadHistogramsJSON parses a WriteJSON export back into a set (the
+// report and compare tools work from exported files, not live runs).
+func ReadHistogramsJSON(r io.Reader) (*HistogramSet, error) {
+	var in []histJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("obs: parsing histogram export: %w", err)
+	}
+	s := &HistogramSet{}
+	for _, hj := range in {
+		h := s.Get(hj.Name)
+		h.n, h.sum = hj.Count, hj.Sum
+		if hj.Count > 0 {
+			h.min, h.max = hj.Min, hj.Max
+		}
+		for _, b := range hj.Buckets {
+			if b.Bucket < 0 || b.Bucket >= histBuckets {
+				return nil, fmt.Errorf("obs: histogram %q: bucket %d out of range", hj.Name, b.Bucket)
+			}
+			h.counts[b.Bucket] = b.Count
+		}
+	}
+	return s, nil
+}

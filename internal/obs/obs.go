@@ -21,6 +21,8 @@ import (
 	"io"
 	"sort"
 	"strings"
+
+	"dramless/internal/sim"
 )
 
 // Kind distinguishes the typed registry entries.
@@ -189,8 +191,23 @@ func (c *Counters) Equal(other *Counters) bool {
 	return true
 }
 
+// kind returns the named entry's kind (KindCounter when absent).
+func (c *Counters) kind(name string) Kind {
+	if c == nil {
+		return KindCounter
+	}
+	if i, ok := c.idx[name]; ok {
+		return c.list[i].Kind
+	}
+	return KindCounter
+}
+
 // Diff returns a human-readable description of the first few differences
 // between two registries (for test failure messages); empty when Equal.
+// Names are reported in sorted order so the output is deterministic
+// regardless of registration order; kind mismatches (a gauge in one
+// registry, a counter in the other) and pure registration-order skew —
+// which Equal rejects even when every value matches — are both reported.
 func (c *Counters) Diff(other *Counters) string {
 	var sb strings.Builder
 	names := map[string]bool{}
@@ -218,9 +235,23 @@ func (c *Counters) Diff(other *Counters) string {
 		case !other.Has(n):
 			fmt.Fprintf(&sb, "  %s: missing right\n", n)
 			diffs++
+		case c.kind(n) != other.kind(n):
+			fmt.Fprintf(&sb, "  %s: %s != %s\n", n, c.kind(n), other.kind(n))
+			diffs++
 		case c.Get(n) != other.Get(n) || c.Gauge(n) != other.Gauge(n):
 			fmt.Fprintf(&sb, "  %s: %d/%g != %d/%g\n", n, c.Get(n), c.Gauge(n), other.Get(n), other.Gauge(n))
 			diffs++
+		}
+	}
+	if diffs == 0 && !c.Equal(other) {
+		for i, e := range c.Entries() {
+			if i >= other.Len() {
+				break
+			}
+			if o := other.Entries()[i]; e.Name != o.Name {
+				fmt.Fprintf(&sb, "  position %d: %q != %q (registration order differs)\n", i, e.Name, o.Name)
+				break
+			}
 		}
 	}
 	return sb.String()
@@ -283,6 +314,8 @@ func (c *Counters) MarshalJSON() ([]byte, error) {
 type Observer struct {
 	counters Counters
 	tracer   *Tracer
+	hists    HistogramSet
+	series   *SeriesSet
 }
 
 // Option customizes New.
@@ -294,11 +327,21 @@ func WithTracing() Option {
 	return func(o *Observer) { o.tracer = NewTracer() }
 }
 
+// WithSeriesWindow sets the simulated-time window the Observer's series
+// accumulate over (DefaultSeriesWindow otherwise). It must precede any
+// recording: handles resolve their window at registration.
+func WithSeriesWindow(window sim.Duration) Option {
+	return func(o *Observer) { o.series = NewSeriesSet(window) }
+}
+
 // New builds an Observer.
 func New(opts ...Option) *Observer {
 	o := &Observer{}
 	for _, fn := range opts {
 		fn(o)
+	}
+	if o.series == nil {
+		o.series = NewSeriesSet(DefaultSeriesWindow)
 	}
 	return o
 }
@@ -328,6 +371,25 @@ func (o *Observer) Record(c *Counters) {
 		return
 	}
 	o.counters.Merge(c)
+}
+
+// Histograms returns the Observer's latency-histogram registry, nil
+// when o is nil. The nil set hands out nil (safely recordable)
+// histogram handles, so instrument sites resolve unconditionally.
+func (o *Observer) Histograms() *HistogramSet {
+	if o == nil {
+		return nil
+	}
+	return &o.hists
+}
+
+// Series returns the Observer's windowed time-series registry, nil when
+// o is nil (the nil set hands out nil handles).
+func (o *Observer) Series() *SeriesSet {
+	if o == nil {
+		return nil
+	}
+	return o.series
 }
 
 // WriteTrace exports the recorded timeline as Chrome trace JSON. It

@@ -1,0 +1,353 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"dramless/internal/sim"
+)
+
+// DefaultSeriesWindow is the simulated-time window series accumulate
+// over unless the Observer is built with WithSeriesWindow.
+const DefaultSeriesWindow = 10 * sim.Microsecond
+
+// Series accumulates an int64 value per fixed simulated-time window
+// (bytes moved, hits, busy picoseconds, ...). Windows are addressed by
+// simulated time only — window index = t/window — so the contents are
+// byte-deterministic and independent of host timing, worker count or
+// recording order: every record is an integer add into the window its
+// simulated timestamp selects. All methods are nil-safe; a nil *Series
+// is the disabled handle.
+type Series struct {
+	name   string
+	window sim.Duration
+	vals   []int64
+}
+
+func newSeries(name string, window sim.Duration) *Series {
+	if window <= 0 {
+		window = DefaultSeriesWindow
+	}
+	return &Series{name: name, window: window, vals: make([]int64, 0, 64)}
+}
+
+// Name returns the instrument name.
+func (s *Series) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Window returns the accumulation window.
+func (s *Series) Window() sim.Duration {
+	if s == nil {
+		return 0
+	}
+	return s.window
+}
+
+// Len returns the number of windows touched so far (index of the last
+// written window plus one).
+func (s *Series) Len() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.vals)
+}
+
+// At returns window i's accumulated value.
+func (s *Series) At(i int) int64 {
+	if s == nil || i < 0 || i >= len(s.vals) {
+		return 0
+	}
+	return s.vals[i]
+}
+
+// grow extends the window array through index i. Amortized append keeps
+// steady-state recording allocation-free once the run's time range has
+// been touched.
+func (s *Series) grow(i int) {
+	for len(s.vals) <= i {
+		s.vals = append(s.vals, 0)
+	}
+}
+
+// Add accumulates v into the window containing simulated time t.
+// Negative times clamp to window 0. Nil-safe.
+func (s *Series) Add(t sim.Time, v int64) {
+	if s == nil {
+		return
+	}
+	i := 0
+	if t > 0 {
+		i = int(t / sim.Time(s.window))
+	}
+	s.grow(i)
+	s.vals[i] += v
+}
+
+// AddSpan distributes the interval [t0, t1) across the windows it
+// overlaps, adding the overlap duration (picoseconds) to each — the
+// primitive behind busy-fraction and stall-time series. Splitting is
+// exact integer arithmetic, so any decomposition of an interval into
+// sub-intervals accumulates identical window values (this is what makes
+// the batched run-folding path's contiguous spans byte-equivalent to
+// op-at-a-time recording). Nil-safe.
+func (s *Series) AddSpan(t0, t1 sim.Time) {
+	if s == nil || t1 <= t0 {
+		return
+	}
+	if t0 < 0 {
+		t0 = 0
+	}
+	w := sim.Time(s.window)
+	for t0 < t1 {
+		i := int(t0 / w)
+		edge := (sim.Time(i) + 1) * w
+		end := t1
+		if edge < end {
+			end = edge
+		}
+		s.grow(i)
+		s.vals[i] += int64(end - t0)
+		t0 = end
+	}
+}
+
+// Merge accumulates other into s window by window. Both series must use
+// the same window; mismatched windows are ignored (they are different
+// instruments).
+func (s *Series) Merge(other *Series) {
+	if s == nil || other == nil || s.window != other.window {
+		return
+	}
+	s.grow(len(other.vals) - 1)
+	for i, v := range other.vals {
+		s.vals[i] += v
+	}
+}
+
+// Equal reports whether both series hold identical windows. Trailing
+// zero windows are insignificant: a series that never saw a late sample
+// equals one that recorded a zero there.
+func (s *Series) Equal(other *Series) bool {
+	a, b := s.Len(), other.Len()
+	n := a
+	if b > n {
+		n = b
+	}
+	if s.Window() != other.Window() && a > 0 && b > 0 {
+		return false
+	}
+	for i := 0; i < n; i++ {
+		if s.At(i) != other.At(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// seriesJSON is one series in the JSON export.
+type seriesJSON struct {
+	Name     string  `json:"name"`
+	WindowPS int64   `json:"window_ps"`
+	Values   []int64 `json:"values"`
+}
+
+// SeriesSet is an ordered registry of named series sharing one window,
+// with the same stable-handle contract as HistogramSet.
+type SeriesSet struct {
+	window sim.Duration
+	idx    map[string]int
+	list   []*Series
+}
+
+// NewSeriesSet returns a set whose series accumulate over window
+// (DefaultSeriesWindow when <= 0).
+func NewSeriesSet(window sim.Duration) *SeriesSet {
+	if window <= 0 {
+		window = DefaultSeriesWindow
+	}
+	return &SeriesSet{window: window}
+}
+
+// Window returns the set's accumulation window.
+func (s *SeriesSet) Window() sim.Duration {
+	if s == nil {
+		return 0
+	}
+	return s.window
+}
+
+// Get returns the named series, registering it on first use. A nil set
+// returns a nil (safely recordable) handle.
+func (s *SeriesSet) Get(name string) *Series {
+	if s == nil {
+		return nil
+	}
+	if i, ok := s.idx[name]; ok {
+		return s.list[i]
+	}
+	if s.idx == nil {
+		s.idx = make(map[string]int)
+	}
+	sr := newSeries(name, s.window)
+	s.idx[name] = len(s.list)
+	s.list = append(s.list, sr)
+	return sr
+}
+
+// Lookup returns the named series without registering it.
+func (s *SeriesSet) Lookup(name string) *Series {
+	if s == nil {
+		return nil
+	}
+	if i, ok := s.idx[name]; ok {
+		return s.list[i]
+	}
+	return nil
+}
+
+// Len returns how many series are registered.
+func (s *SeriesSet) Len() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.list)
+}
+
+// Names returns every registered name in registration order.
+func (s *SeriesSet) Names() []string {
+	if s == nil {
+		return nil
+	}
+	out := make([]string, len(s.list))
+	for i, sr := range s.list {
+		out[i] = sr.name
+	}
+	return out
+}
+
+// All returns the series in registration order. The slice is shared;
+// callers must not mutate it.
+func (s *SeriesSet) All() []*Series {
+	if s == nil {
+		return nil
+	}
+	return s.list
+}
+
+// Merge accumulates other's series into s, registering new names at the
+// tail in other's order. Sets must share a window for values to land.
+func (s *SeriesSet) Merge(other *SeriesSet) {
+	if s == nil || other == nil {
+		return
+	}
+	for _, sr := range other.list {
+		s.Get(sr.name).Merge(sr)
+	}
+}
+
+// Equal reports whether both sets hold the same series in the same
+// order with identical windows.
+func (s *SeriesSet) Equal(other *SeriesSet) bool {
+	if s.Len() != other.Len() {
+		return false
+	}
+	for i, sr := range s.All() {
+		o := other.list[i]
+		if sr.name != o.name || !sr.Equal(o) {
+			return false
+		}
+	}
+	return true
+}
+
+// Diff returns a description of the first differences between two sets;
+// empty when Equal.
+func (s *SeriesSet) Diff(other *SeriesSet) string {
+	if s.Len() != other.Len() {
+		return fmt.Sprintf("  %d series != %d\n", s.Len(), other.Len())
+	}
+	for i, sr := range s.All() {
+		o := other.list[i]
+		if sr.name != o.name {
+			return fmt.Sprintf("  position %d: %q != %q\n", i, sr.name, o.name)
+		}
+		n := sr.Len()
+		if o.Len() > n {
+			n = o.Len()
+		}
+		for w := 0; w < n; w++ {
+			if sr.At(w) != o.At(w) {
+				return fmt.Sprintf("  %s window %d: %d != %d\n", sr.name, w, sr.At(w), o.At(w))
+			}
+		}
+	}
+	return ""
+}
+
+// MarshalJSON renders the set as an ordered array of series.
+func (s *SeriesSet) MarshalJSON() ([]byte, error) {
+	return json.Marshal(s.toJSON())
+}
+
+func (s *SeriesSet) toJSON() []seriesJSON {
+	out := make([]seriesJSON, 0, s.Len())
+	for _, sr := range s.All() {
+		vals := sr.vals
+		if vals == nil {
+			vals = []int64{}
+		}
+		out = append(out, seriesJSON{Name: sr.name, WindowPS: int64(sr.window), Values: vals})
+	}
+	return out
+}
+
+// WriteJSON writes the set as indented JSON (the `-series file.json`
+// format).
+func (s *SeriesSet) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(s.toJSON(), "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// WriteCSV writes one table: window_start_ps followed by one column per
+// series, rows padded with zeros to the longest series.
+func (s *SeriesSet) WriteCSV(w io.Writer) error {
+	if _, err := io.WriteString(w, "window_start_ps"); err != nil {
+		return err
+	}
+	rows := 0
+	for _, sr := range s.All() {
+		if _, err := fmt.Fprintf(w, ",%s", sr.name); err != nil {
+			return err
+		}
+		if sr.Len() > rows {
+			rows = sr.Len()
+		}
+	}
+	if _, err := io.WriteString(w, "\n"); err != nil {
+		return err
+	}
+	for i := 0; i < rows; i++ {
+		if _, err := fmt.Fprintf(w, "%d", sim.Time(i)*sim.Time(s.Window())); err != nil {
+			return err
+		}
+		for _, sr := range s.All() {
+			if _, err := fmt.Fprintf(w, ",%d", sr.At(i)); err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(w, "\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dramless/internal/sim"
+)
+
+func TestSeriesAddWindows(t *testing.T) {
+	set := NewSeriesSet(100)
+	s := set.Get("bytes")
+	s.Add(0, 5)
+	s.Add(99, 5)  // same window
+	s.Add(100, 7) // next window
+	s.Add(350, 1) // skips window 2
+	s.Add(-10, 2) // clamps to window 0
+	if s.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", s.Len())
+	}
+	want := []int64{12, 7, 0, 1}
+	for i, w := range want {
+		if got := s.At(i); got != w {
+			t.Errorf("window %d = %d, want %d", i, got, w)
+		}
+	}
+	if s.At(99) != 0 || s.At(-1) != 0 {
+		t.Error("out-of-range At must read 0")
+	}
+}
+
+// TestSeriesAddSpanDecomposition pins the property the batched datapath
+// relies on: splitting an interval at arbitrary points accumulates
+// exactly the same window values as adding it whole.
+func TestSeriesAddSpanDecomposition(t *testing.T) {
+	whole := NewSeriesSet(100).Get("w")
+	split := NewSeriesSet(100).Get("w")
+
+	whole.AddSpan(37, 912)
+	for _, cut := range [][2]sim.Time{{37, 40}, {40, 199}, {199, 200}, {200, 650}, {650, 912}} {
+		split.AddSpan(cut[0], cut[1])
+	}
+	if !whole.Equal(split) {
+		t.Errorf("decomposed AddSpan differs: whole %v split %v", whole.vals, split.vals)
+	}
+	// Sum of window contributions equals the span length.
+	var sum int64
+	for i := 0; i < whole.Len(); i++ {
+		sum += whole.At(i)
+	}
+	if sum != 912-37 {
+		t.Errorf("span picoseconds = %d, want %d", sum, 912-37)
+	}
+	// Window-aligned and empty spans.
+	aligned := NewSeriesSet(100).Get("w")
+	aligned.AddSpan(200, 400)
+	if aligned.At(1) != 0 || aligned.At(2) != 100 || aligned.At(3) != 100 {
+		t.Errorf("aligned span landed wrong: %v", aligned.vals)
+	}
+	aligned.AddSpan(500, 500)
+	aligned.AddSpan(500, 400)
+	if aligned.Len() != 4 {
+		t.Error("empty/inverted spans must not extend the series")
+	}
+}
+
+func TestSeriesMergeEqual(t *testing.T) {
+	a := NewSeriesSet(100)
+	b := NewSeriesSet(100)
+	a.Get("x").Add(0, 3)
+	b.Get("x").Add(0, 3)
+	// Trailing zeros are insignificant for Equal.
+	b.Get("x").Add(500, 0)
+	if !a.Equal(b) {
+		t.Errorf("trailing zero windows must not break Equal:\n%s", a.Diff(b))
+	}
+	b.Get("x").Add(500, 1)
+	if a.Equal(b) || a.Diff(b) == "" {
+		t.Error("differing windows must fail Equal with a non-empty Diff")
+	}
+	a.Merge(b)
+	if got := a.Get("x").At(0); got != 6 {
+		t.Errorf("merged window 0 = %d, want 6", got)
+	}
+	if got := a.Get("x").At(5); got != 1 {
+		t.Errorf("merged window 5 = %d, want 1", got)
+	}
+
+	// Mismatched windows are different instruments: Merge must not mix.
+	c := NewSeriesSet(999)
+	c.Get("x").Add(0, 100)
+	a.Merge(c)
+	if got := a.Get("x").At(0); got != 6 {
+		t.Errorf("mismatched-window merge leaked values: window 0 = %d", got)
+	}
+
+	// Nil handles record and compare safely.
+	var ns *Series
+	ns.Add(0, 1)
+	ns.AddSpan(0, 100)
+	if ns.Len() != 0 || !ns.Equal((*Series)(nil)) {
+		t.Error("nil series must stay empty and equal nil")
+	}
+}
+
+func TestSeriesSetExport(t *testing.T) {
+	set := NewSeriesSet(100)
+	set.Get("b.second").Add(0, 1)
+	set.Get("a.first").Add(250, 4)
+
+	var csv bytes.Buffer
+	if err := set.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	want := "window_start_ps,b.second,a.first\n" +
+		"0,1,0\n100,0,0\n200,0,4\n"
+	if csv.String() != want {
+		t.Errorf("CSV export:\n%q\nwant:\n%q", csv.String(), want)
+	}
+
+	var j1, j2 bytes.Buffer
+	if err := set.WriteJSON(&j1); err != nil {
+		t.Fatal(err)
+	}
+	if err := set.WriteJSON(&j2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j1.Bytes(), j2.Bytes()) {
+		t.Error("repeated JSON exports differ")
+	}
+	if !strings.Contains(j1.String(), `"window_ps": 100`) {
+		t.Errorf("JSON export missing window: %s", j1.String())
+	}
+}
+
+// TestSeriesRecordAllocationFree pins steady-state Add/AddSpan at zero
+// allocations once the run's time range has been touched.
+func TestSeriesRecordAllocationFree(t *testing.T) {
+	s := NewSeriesSet(100).Get("pin")
+	s.Add(10_000, 1) // touch the range once; growth is amortized append
+	allocs := testing.AllocsPerRun(200, func() {
+		s.Add(5_000, 2)
+		s.AddSpan(1_000, 2_000)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state series record allocates %.1f objects per call, want 0", allocs)
+	}
+	var ns *Series
+	allocs = testing.AllocsPerRun(200, func() {
+		ns.Add(1, 1)
+		ns.AddSpan(0, 10)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil series record allocates %.1f objects per call, want 0", allocs)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"dramless/internal/mem"
+	"dramless/internal/obs"
 	"dramless/internal/sim"
 	"dramless/internal/stats"
 	"dramless/internal/workload"
@@ -102,6 +103,18 @@ type PE struct {
 	onSpan   func(Span)
 	storeBuf []byte // reusable nonzero store payload
 	loadBuf  []byte // reusable load destination (loaded bytes are discarded)
+
+	// Windowed busy/stall instruments (obs.Series handles shared across
+	// the accelerator's PEs). Unlike OnSpan/SampleIPC, they do NOT
+	// disable run folding: the scalar path records per-op spans, and the
+	// batched paths record the identical intervals — contiguous
+	// closed-form spans for compute-only runs, per-access mem.Run.OnOp
+	// callbacks for memory runs — so the per-window sums match the
+	// unbatched execution exactly.
+	busyS  *obs.Series
+	stallS *obs.Series
+	onOp   func(start, end sim.Time) // run-path recorder (uses curGap)
+	curGap sim.Duration              // Gap of the run being executed
 }
 
 // New returns a PE executing stream against memory, starting at `start`.
@@ -131,6 +144,22 @@ func (p *PE) SampleIPC(interval sim.Duration) { p.ipc = stats.NewSeries(interval
 
 // OnSpan registers a busy/stall interval observer.
 func (p *PE) OnSpan(fn func(Span)) { p.onSpan = fn }
+
+// ObserveSeries attaches windowed busy (compute) and stall
+// (memory-wait) time accumulation, typically the accelerator-wide
+// shared series. Either handle may be nil.
+func (p *PE) ObserveSeries(busy, stall *obs.Series) {
+	if busy == nil && stall == nil {
+		return
+	}
+	p.busyS, p.stallS = busy, stall
+	p.onOp = func(start, end sim.Time) {
+		if p.curGap > 0 {
+			p.busyS.AddSpan(start-p.curGap, start)
+		}
+		p.stallS.AddSpan(start, end)
+	}
+}
 
 // Now returns the PE's local time.
 func (p *PE) Now() sim.Time { return p.now }
@@ -218,6 +247,11 @@ func (p *PE) Step() (bool, error) {
 			// Compute-only run: closed form, exact in integer picoseconds.
 			if op.Compute > 0 {
 				dur := p.durOf(op.Compute)
+				if p.busyS != nil {
+					// One contiguous span; window sums equal the per-op
+					// spans of the scalar path exactly (integer split).
+					p.busyS.AddSpan(p.now, p.now+sim.Duration(rest)*dur)
+				}
 				p.now += sim.Duration(rest) * dur
 				p.compute += sim.Duration(rest) * dur
 				p.instrs += int64(rest) * op.Compute
@@ -234,10 +268,12 @@ func (p *PE) Step() (bool, error) {
 			Size:   op.Size,
 			Count:  rest,
 			Issue:  p.issue,
+			OnOp:   p.onOp,
 		}
 		if op.Compute > 0 {
 			run.Gap = p.durOf(op.Compute)
 		}
+		p.curGap = run.Gap
 		var res mem.RunResult
 		var err error
 		if op.Write {
@@ -274,6 +310,9 @@ func (p *PE) exec(op workload.Op) error {
 		if p.ipc != nil {
 			p.ipc.Spread(p.now, p.now+dur, float64(op.Compute))
 		}
+		if p.busyS != nil {
+			p.busyS.AddSpan(p.now, p.now+dur)
+		}
 		p.now += dur
 		p.compute += dur
 		p.instrs += op.Compute
@@ -307,6 +346,9 @@ func (p *PE) exec(op workload.Op) error {
 		p.emit(Span{Active: false, T0: p.now, T1: stallEnd})
 		if p.ipc != nil {
 			p.ipc.Accumulate(p.now, 1)
+		}
+		if p.stallS != nil {
+			p.stallS.AddSpan(p.now, stallEnd)
 		}
 		p.stall += stallEnd - p.now
 		p.now = stallEnd

@@ -72,6 +72,7 @@ type Module struct {
 	pausing     bool
 	progEndPart []sim.Time // per-partition in-flight program end
 	pauses      int64
+	onPause     func(at sim.Time, stretch sim.Duration)
 
 	stats Stats
 }
@@ -163,6 +164,12 @@ func (m *Module) EnableWritePausing(on bool) { m.pausing = on }
 
 // Pauses returns how many programs were interrupted by reads.
 func (m *Module) Pauses() int64 { return m.pauses }
+
+// SetPauseHook registers fn to observe every write-pause event: at is
+// the pausing read's arrival, stretch the extra time the interrupted
+// program pays (pause + sense + resume). The memory controller wires it
+// to the observability layer's stall series; nil disables it.
+func (m *Module) SetPauseHook(fn func(at sim.Time, stretch sim.Duration)) { m.onPause = fn }
 
 // EnableTrace records every LPDDR2-NVM command the module observes, for
 // protocol inspection and debugging. Retrieve with TraceHistory.
@@ -302,6 +309,9 @@ func (m *Module) Activate(at sim.Time, ba uint8, lower uint32) (done sim.Time, e
 		}
 		m.stats.ProgramTime += stretch // the interrupted program re-pays this
 		m.pauses++
+		if m.onPause != nil {
+			m.onPause(at, stretch)
+		}
 	} else {
 		start := part.Acquire(at, m.par.TRCD)
 		done2 = start + m.par.TRCD

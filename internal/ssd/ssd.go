@@ -31,6 +31,9 @@ type Config struct {
 	// DRAMBandwidth is the internal buffer's sustained bandwidth
 	// (bytes/second) seen by direct accesses in integrated mode.
 	DRAMBandwidth float64
+	// Obs attaches the observability layer: per-operation latency
+	// histograms. Nil disables observation at zero cost.
+	Obs *obs.Observer
 }
 
 // DefaultConfig returns a Table I SSD: the given media, 1 GB internal
@@ -109,6 +112,12 @@ type SSD struct {
 	entSlab  []bufEntry
 	dataSlab []byte
 
+	// Latency instruments, resolved once at construction; nil when
+	// observation is off (the nil Histogram no-ops).
+	hRead    *obs.Histogram
+	hWrite   *obs.Histogram
+	hProgram *obs.Histogram
+
 	stats Stats
 }
 
@@ -145,7 +154,7 @@ func New(cfg Config) (*SSD, error) {
 	if bw <= 0 {
 		bw = 12.8e9
 	}
-	return &SSD{
+	s := &SSD{
 		cfg:      cfg,
 		arr:      arr,
 		ftl:      f,
@@ -153,7 +162,13 @@ func New(cfg Config) (*SSD, error) {
 		buf:      map[uint64]*bufEntry{},
 		bufCap:   int(cfg.BufferBytes / uint64(cfg.Media.PageBytes)),
 		dramPipe: sim.NewPipe("ssd.dram", bw, 50*sim.Nanosecond),
-	}, nil
+	}
+	if hs := cfg.Obs.Histograms(); hs != nil {
+		s.hRead = hs.Get(obs.HistSSDRead)
+		s.hWrite = hs.Get(obs.HistSSDWrite)
+		s.hProgram = hs.Get(obs.HistSSDFTLProgram)
+	}
+	return s, nil
 }
 
 // MustNew is New for known-good configurations.
@@ -278,6 +293,9 @@ func (s *SSD) evictIfFull(at sim.Time) (sim.Time, error) {
 	if e.dirty {
 		s.stats.Flushes++
 		done, err := s.ftl.write(at, victim, e.data)
+		if err == nil {
+			s.hProgram.Record(int64(done - at))
+		}
 		s.recycle(e) // ftl.write copied the page into the array store
 		return done, err
 	}
@@ -360,6 +378,7 @@ func (s *SSD) ReadInto(at sim.Time, addr uint64, dst []byte) (sim.Time, error) {
 		off += take
 	}
 	s.stats.Reads++
+	s.hRead.Record(int64(done - at))
 	return done, nil
 }
 
@@ -414,6 +433,7 @@ func (s *SSD) Write(at sim.Time, addr uint64, data []byte) (sim.Time, error) {
 		off += take
 	}
 	s.stats.Writes++
+	s.hWrite.Record(int64(done - at))
 	return done, nil
 }
 
@@ -440,6 +460,7 @@ func (s *SSD) Flush(at sim.Time) (sim.Time, error) {
 		if err != nil {
 			return 0, err
 		}
+		s.hProgram.Record(int64(d - at))
 		e.dirty = false
 		s.stats.Flushes++
 		done = sim.Max(done, d)

@@ -1,6 +1,7 @@
 package system
 
 import (
+	"bytes"
 	"reflect"
 	"strings"
 	"testing"
@@ -47,6 +48,7 @@ func TestBatchedMatchesUnbatched(t *testing.T) {
 
 				cfg := testConfig(kind)
 				cfg.Scale = 128 << 10
+				cfg.Obs = obs.New()
 				batched, err := Run(cfg, k)
 				if err != nil {
 					t.Fatal(err)
@@ -54,6 +56,7 @@ func TestBatchedMatchesUnbatched(t *testing.T) {
 
 				ucfg := cfg
 				ucfg.Accel.PE.Unbatched = true
+				ucfg.Obs = obs.New()
 				unbatched, err := Run(ucfg, k)
 				if err != nil {
 					t.Fatal(err)
@@ -93,6 +96,42 @@ func TestBatchedMatchesUnbatched(t *testing.T) {
 				for i := range be {
 					if be[i] != ue[i] {
 						t.Errorf("counter %q: batched %+v != unbatched %+v", be[i].Name, be[i], ue[i])
+					}
+				}
+
+				// The latency histograms and windowed series must agree
+				// byte for byte: the batched fast paths are required to
+				// record every per-access sample the scalar reference
+				// loop would (mem.Run.OnOp, cache run fast arms).
+				bh, uh := cfg.Obs.Histograms(), ucfg.Obs.Histograms()
+				if !bh.Equal(uh) {
+					t.Errorf("histograms differ:\n%s", bh.Diff(uh))
+				}
+				bs, us := cfg.Obs.Series(), ucfg.Obs.Series()
+				if !bs.Equal(us) {
+					t.Errorf("series differ:\n%s", bs.Diff(us))
+				}
+				if !t.Failed() {
+					var bbuf, ubuf bytes.Buffer
+					if err := bh.WriteJSON(&bbuf); err != nil {
+						t.Fatal(err)
+					}
+					if err := uh.WriteJSON(&ubuf); err != nil {
+						t.Fatal(err)
+					}
+					if !bytes.Equal(bbuf.Bytes(), ubuf.Bytes()) {
+						t.Error("histogram JSON exports are not byte-identical")
+					}
+					bbuf.Reset()
+					ubuf.Reset()
+					if err := bs.WriteCSV(&bbuf); err != nil {
+						t.Fatal(err)
+					}
+					if err := us.WriteCSV(&ubuf); err != nil {
+						t.Fatal(err)
+					}
+					if !bytes.Equal(bbuf.Bytes(), ubuf.Bytes()) {
+						t.Error("series CSV exports are not byte-identical")
 					}
 				}
 			})

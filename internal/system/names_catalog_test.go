@@ -1,0 +1,49 @@
+package system
+
+import (
+	"testing"
+
+	"dramless/internal/obs"
+	"dramless/internal/workload"
+)
+
+// TestEmittedNamesAreCataloged runs every Table I organization with a
+// full observer and asserts that every name the stack actually emits —
+// counters, latency histograms and windowed series — normalizes into
+// the obs catalog. A typo'd or undeclared instrument key fails here as
+// drift instead of silently forking a new instrument.
+func TestEmittedNamesAreCataloged(t *testing.T) {
+	for _, kind := range Kinds() {
+		t.Run(kind.String(), func(t *testing.T) {
+			cfg := testConfig(kind)
+			cfg.Obs = obs.New()
+			if _, err := Run(cfg, workload.MustByName("gemver")); err != nil {
+				t.Fatal(err)
+			}
+			for _, n := range cfg.Obs.Counters().Names() {
+				if !obs.Cataloged(n) {
+					t.Errorf("counter %q (normalized %q) is not in the catalog",
+						n, obs.NormalizeName(n))
+				}
+			}
+			hists := cfg.Obs.Histograms()
+			if hists.Len() == 0 {
+				t.Error("run with observer emitted no histograms")
+			}
+			for _, n := range hists.Names() {
+				if !obs.Cataloged(n) {
+					t.Errorf("histogram %q is not in the catalog", n)
+				}
+			}
+			series := cfg.Obs.Series()
+			if series.Len() == 0 {
+				t.Error("run with observer emitted no series")
+			}
+			for _, n := range series.Names() {
+				if !obs.Cataloged(n) {
+					t.Errorf("series %q is not in the catalog", n)
+				}
+			}
+		})
+	}
+}

@@ -223,6 +223,7 @@ func newBuild(cfg Config) (*build, error) {
 		// >10x-scaled volumes; scale them with the footprint so buffer
 		// pressure (and therefore media latency) is preserved.
 		sc.BufferBytes = cfg.bufferBytes()
+		sc.Obs = cfg.Obs
 		return ssd.New(sc)
 	}
 
@@ -465,6 +466,11 @@ func Run(cfg Config, k workload.Kernel) (*Result, error) {
 	res.Energy = b.accountEnergy(snap, rep, runStart, loadEnd, kernelEnd, storeEnd)
 
 	b.collectCounters(rep, &res.Counters)
+	if hs := cfg.Obs.Histograms(); hs != nil {
+		hs.Get(obs.HistSystemLoad).Record(int64(loadEnd - runStart))
+		hs.Get(obs.HistSystemKernel).Record(int64(kernelEnd - loadEnd))
+		hs.Get(obs.HistSystemStore).Record(int64(storeEnd - kernelEnd))
+	}
 	if tr := cfg.Obs.Tracer(); tr.Enabled() {
 		tr.Span("system", "run", TimeLoad, runStart, loadEnd)
 		tr.Span("system", "run", "kernel", loadEnd, kernelEnd)

@@ -14,6 +14,13 @@
 //	go test -run '^$' -bench . . | benchjson -compare BENCH_suite.json
 //
 // Input lines are echoed to stdout, so the tool tees transparently.
+//
+// With -hist and -hist-base, the tool instead diffs two `dramless run
+// -hist` JSON exports: per-instrument p99 latency deltas go to stderr
+// and the exit status is 1 when any instrument's p99 regressed by more
+// than -hist-threshold. Stdin is not read in this mode:
+//
+//	benchjson -hist current.json -hist-base HIST_baseline.json
 package main
 
 import (
@@ -24,6 +31,8 @@ import (
 	"os"
 	"strconv"
 	"strings"
+
+	"dramless/internal/obs"
 )
 
 // result is one benchmark line.
@@ -46,7 +55,26 @@ func main() {
 	out := flag.String("out", "BENCH_suite.json", "output JSON file")
 	compare := flag.String("compare", "", "baseline JSON file: diff ns/op against it instead of writing")
 	threshold := flag.Float64("threshold", 0.10, "with -compare, fail on ns/op regressions above this fraction")
+	hist := flag.String("hist", "", "current `dramless run -hist` JSON export (requires -hist-base)")
+	histBase := flag.String("hist-base", "", "baseline histogram export: diff per-instrument p99 against it")
+	histThreshold := flag.Float64("hist-threshold", 0.10, "with -hist, fail on p99 latency regressions above this fraction")
 	flag.Parse()
+
+	if *hist != "" || *histBase != "" {
+		if *hist == "" || *histBase == "" {
+			fmt.Fprintln(os.Stderr, "benchjson: -hist and -hist-base must be given together")
+			os.Exit(2)
+		}
+		ok, err := compareHistograms(*hist, *histBase, *histThreshold)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if !ok {
+			os.Exit(1)
+		}
+		return
+	}
 
 	doc := document{Benchmarks: []result{}}
 	sc := bufio.NewScanner(os.Stdin)
@@ -152,6 +180,73 @@ func compareBaseline(doc document, path string, threshold float64) (bool, error)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) within %.0f%% of %s\n",
 		compared, threshold*100, path)
+	return true, nil
+}
+
+// readHistograms loads one `dramless run -hist` JSON export.
+func readHistograms(path string) (*obs.HistogramSet, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("benchjson: %w", err)
+	}
+	defer f.Close()
+	s, err := obs.ReadHistogramsJSON(f)
+	if err != nil {
+		return nil, fmt.Errorf("benchjson: %s: %w", path, err)
+	}
+	return s, nil
+}
+
+// compareHistograms diffs per-instrument p99 latency between two
+// histogram exports, printing one line per instrument to stderr. It
+// reports false when any instrument shared with the baseline regressed
+// by more than threshold (fractional). The simulator is deterministic,
+// so unlike wall-clock benchmarks any p99 drift here is a real
+// behavioral change; the threshold only absorbs intended model tuning.
+func compareHistograms(curPath, basePath string, threshold float64) (bool, error) {
+	cur, err := readHistograms(curPath)
+	if err != nil {
+		return false, err
+	}
+	base, err := readHistograms(basePath)
+	if err != nil {
+		return false, err
+	}
+	regressions, compared := 0, 0
+	for _, h := range cur.All() {
+		if h.Count() == 0 {
+			continue
+		}
+		p99 := h.Percentile(99)
+		b := base.Lookup(h.Name())
+		if b == nil || b.Count() == 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %-30s p99 %14d ps  (new, no baseline)\n", h.Name(), p99)
+			continue
+		}
+		compared++
+		old := b.Percentile(99)
+		delta := 0.0
+		if old > 0 {
+			delta = float64(p99)/float64(old) - 1
+		}
+		mark := ""
+		if delta > threshold {
+			mark = "  REGRESSION"
+			regressions++
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: %-30s p99 %14d ps  vs %14d  %+7.1f%%%s\n",
+			h.Name(), p99, old, delta*100, mark)
+	}
+	if compared == 0 {
+		return false, fmt.Errorf("benchjson: no instruments in common between %s and %s", curPath, basePath)
+	}
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d instrument(s) regressed p99 more than %.0f%% vs %s\n",
+			regressions, threshold*100, basePath)
+		return false, nil
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %d instrument(s) within %.0f%% of %s\n",
+		compared, threshold*100, basePath)
 	return true, nil
 }
 
