@@ -31,7 +31,9 @@ func runExperiment(b *testing.B, id string, o dramless.ExperimentOptions, metric
 	var tab *dramless.ExperimentTable
 	var err error
 	for i := 0; i < b.N; i++ {
-		tab, err = dramless.NewExperimentEngine(o).Table(id)
+		eng := dramless.NewExperimentEngine(o)
+		tab, err = eng.Table(id)
+		eng.Release()
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -106,6 +108,7 @@ func BenchmarkAllExperiments(b *testing.B) {
 					b.Fatalf("got %d tables, want %d", len(tabs), len(dramless.ExperimentIDs()))
 				}
 				st = eng.Stats()
+				eng.Release()
 			}
 			if st.Workers != bc.par {
 				b.Fatalf("engine ran with %d workers, requested %d", st.Workers, bc.par)

@@ -92,10 +92,14 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `dramless - HPCA'20 "DRAM-less" reproduction harness
 
 commands:
-  experiments [-full] [-scale bytes] [-kernels a,b,c] [-parallel N] [id ...]
+  experiments [-full] [-scale bytes] [-kernels a,b,c] [-parallel N]
+        [-slowest N] [id ...]
         regenerate the paper's tables/figures (default: all of them);
         -parallel bounds the simulation worker pool (0 = GOMAXPROCS,
-        1 = serial) - output is byte-identical at any setting
+        1 = serial) - output is byte-identical at any setting;
+        -slowest lists the N slowest cells by host wall-clock, each
+        tagged with whether it forked a cached populate/load prefix
+        checkpoint or simulated it cold
   run   -system <name> -kernel <name> [-scale bytes] [-scheduler name]
         [-trace out.json] [-hist out.json] [-series out.json] [-counters]
         one end-to-end system simulation with full breakdowns;
@@ -138,6 +142,7 @@ func cmdExperiments(args []string) {
 	scale := fs.Int64("scale", 0, "override footprint scale in bytes")
 	kernels := fs.String("kernels", "", "comma-separated kernel subset")
 	parallel := fs.Int("parallel", 0, "simulation worker pool size (0 = GOMAXPROCS, 1 = serial)")
+	slowest := fs.Int("slowest", 0, "report the N slowest simulation cells with prefix cache hit/miss")
 	startProf := profileFlags(fs)
 	fs.Parse(args)
 	stopProf := startProf()
@@ -186,7 +191,18 @@ func cmdExperiments(args []string) {
 		}
 	}
 	if !*asJSON {
-		fmt.Printf("engine: %s; wall %v\n", eng.Stats(), time.Since(wall).Round(time.Millisecond))
+		fmt.Printf("engine: %s; prefixes: %s; wall %v\n",
+			eng.Stats(), eng.PrefixStats(), time.Since(wall).Round(time.Millisecond))
+	}
+	if *slowest > 0 {
+		fmt.Printf("slowest %d cells (host wall-clock):\n", *slowest)
+		for _, ct := range eng.SlowestCells(*slowest) {
+			tag := "prefix-cold"
+			if ct.PrefixHit {
+				tag = "prefix-fork"
+			}
+			fmt.Printf("  %-10v %-22s %-8s %s\n", ct.Wall.Round(time.Microsecond), ct.Kind, ct.Kernel, tag)
+		}
 	}
 }
 

@@ -382,6 +382,10 @@ type ExperimentEngine = experiments.Engine
 // (simulations run, cache hits, coalesced requests, worker bound).
 type ExperimentRunStats = runner.Stats
 
+// ExperimentCellTiming is the host wall-clock accounting of one
+// simulation cell, as returned by ExperimentEngine.SlowestCells.
+type ExperimentCellTiming = experiments.CellTiming
+
 // NewExperimentEngine builds a run engine. Experiments regenerated
 // through the same engine (Table, Tables) share its result cache.
 func NewExperimentEngine(o ExperimentOptions) *ExperimentEngine {

@@ -8,6 +8,7 @@ package cache
 
 import (
 	"fmt"
+	"math/bits"
 	"strings"
 	"sync"
 
@@ -120,6 +121,14 @@ type Cache struct {
 	tick    int64
 	stats   Stats
 
+	// Address-decomposition constants: line size and set count are
+	// validated powers of two, so index/lineBase run on shifts and masks
+	// instead of hardware division (index sits on every access path).
+	lineShift uint
+	setShift  uint
+	lineMask  uint64
+	setMask   uint64
+
 	// Per-access latency instruments, resolved once at construction
 	// (nil when observation is off; the nil handles no-op).
 	hHit  *obs.Histogram
@@ -178,12 +187,16 @@ func New(cfg Config, lower mem.Device) (*Cache, error) {
 		}
 	}
 	c := &Cache{
-		cfg:     cfg,
-		errName: "cache " + cfg.Name,
-		lower:   lower,
-		sets:    st.sets,
-		slab:    st.slab,
-		store:   st,
+		cfg:       cfg,
+		errName:   "cache " + cfg.Name,
+		lower:     lower,
+		sets:      st.sets,
+		slab:      st.slab,
+		store:     st,
+		lineShift: uint(bits.TrailingZeros64(uint64(cfg.LineBytes))),
+		lineMask:  uint64(cfg.LineBytes) - 1,
+		setShift:  uint(bits.TrailingZeros64(uint64(nsets))),
+		setMask:   uint64(nsets) - 1,
 	}
 	if hs := cfg.Obs.Histograms(); hs != nil {
 		lvl := cfg.histLevel()
@@ -236,13 +249,12 @@ func (c *Cache) Stats() Stats { return c.stats }
 func (c *Cache) Config() Config { return c.cfg }
 
 func (c *Cache) index(addr uint64) (set int, tag uint64, off int) {
-	lb := uint64(c.cfg.LineBytes)
-	lineAddr := addr / lb
-	return int(lineAddr % uint64(len(c.sets))), lineAddr / uint64(len(c.sets)), int(addr % lb)
+	lineAddr := addr >> c.lineShift
+	return int(lineAddr & c.setMask), lineAddr >> c.setShift, int(addr & c.lineMask)
 }
 
 func (c *Cache) lineBase(set int, tag uint64) uint64 {
-	return (tag*uint64(len(c.sets)) + uint64(set)) * uint64(c.cfg.LineBytes)
+	return (tag<<c.setShift | uint64(set)) << c.lineShift
 }
 
 // lookup returns the way holding (set, tag) or -1.
@@ -452,6 +464,10 @@ func (c *Cache) ReadRun(now sim.Time, r mem.Run, dst []byte) (mem.RunResult, err
 	res := mem.RunResult{Now: now}
 	addr := r.Addr
 	var pend []byte // line bytes of the last hit, copy-out deferred
+	// Same-line memo: runs whose stride is below the line size hit the
+	// line they just resolved; skip the way scan. Hits never move lines,
+	// so the memo stays exact until the next miss.
+	memoW, memoSet, memoTag := -1, 0, uint64(0)
 	for res.Done < r.Count {
 		set, tag, lo := c.index(addr)
 		if lo+r.Size > c.cfg.LineBytes {
@@ -459,7 +475,12 @@ func (c *Cache) ReadRun(now sim.Time, r mem.Run, dst []byte) (mem.RunResult, err
 		}
 		start := res.Now + r.Gap
 		var done sim.Time
-		if w := c.lookup(set, tag); w >= 0 {
+		w := memoW
+		if w < 0 || set != memoSet || tag != memoTag {
+			w = c.lookup(set, tag)
+		}
+		if w >= 0 {
+			memoW, memoSet, memoTag = w, set, tag
 			// Hit fast path: same stats/LRU/instrument effects as fill's
 			// hit arm.
 			c.stats.Hits++
@@ -475,6 +496,7 @@ func (c *Cache) ReadRun(now sim.Time, r mem.Run, dst []byte) (mem.RunResult, err
 			if !c.privateMiss(set, tag) {
 				break
 			}
+			memoW = -1 // the fill below may evict any way
 			// A fill may overwrite the pending line's slab storage
 			// (eviction reuses it); settle the deferred copy first.
 			if pend != nil {
@@ -511,6 +533,7 @@ func (c *Cache) ReadRun(now sim.Time, r mem.Run, dst []byte) (mem.RunResult, err
 func (c *Cache) WriteRun(now sim.Time, r mem.Run, src []byte) (mem.RunResult, error) {
 	res := mem.RunResult{Now: now}
 	addr := r.Addr
+	memoW, memoSet, memoTag := -1, 0, uint64(0) // same-line memo, as in ReadRun
 	for res.Done < r.Count {
 		set, tag, lo := c.index(addr)
 		if lo+r.Size > c.cfg.LineBytes {
@@ -518,7 +541,12 @@ func (c *Cache) WriteRun(now sim.Time, r mem.Run, src []byte) (mem.RunResult, er
 		}
 		start := res.Now + r.Gap
 		var done sim.Time
-		if w := c.lookup(set, tag); w >= 0 {
+		w := memoW
+		if w < 0 || set != memoSet || tag != memoTag {
+			w = c.lookup(set, tag)
+		}
+		if w >= 0 {
+			memoW, memoSet, memoTag = w, set, tag
 			c.stats.Hits++
 			if c.hHit != nil {
 				c.hHit.Record(int64(c.cfg.HitLatency))
@@ -533,6 +561,7 @@ func (c *Cache) WriteRun(now sim.Time, r mem.Run, src []byte) (mem.RunResult, er
 			if !c.privateMiss(set, tag) {
 				break
 			}
+			memoW = -1 // the fill below may evict any way
 			var err error
 			done, err = c.Write(start, addr, src[:r.Size])
 			if err != nil {

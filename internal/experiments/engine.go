@@ -2,7 +2,9 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
 	"sync"
+	"time"
 
 	"dramless/internal/runner"
 	"dramless/internal/system"
@@ -30,28 +32,127 @@ type runKey struct {
 type Engine struct {
 	o Options
 	r *runner.Runner[runKey, *system.Result]
+
+	// pr is the second-level cache: one captured populate/load
+	// checkpoint per distinct system.Prefix. Many cells share a prefix
+	// (every kernel with the same footprint class under one config), so
+	// each prefix simulates once and every cell forks from it. The
+	// runner's singleflight makes concurrent captures of one prefix
+	// coalesce; forks only read the frozen template, so any number may
+	// proceed at once.
+	pr *runner.Runner[system.Prefix, *system.Checkpoint]
+
+	mu      sync.Mutex
+	seen    map[system.Prefix]bool
+	timings []CellTiming
+	cps     []*system.Checkpoint
+}
+
+// CellTiming is the host-side wall-clock accounting of one simulation
+// cell, for the engine's -slowest report.
+type CellTiming struct {
+	Kind      system.Kind
+	Kernel    string
+	Wall      time.Duration
+	PrefixHit bool // the cell forked an already-captured checkpoint
 }
 
 // NewEngine builds an engine for one experiment invocation. Experiments
 // regenerated through the same engine share its result cache.
 func NewEngine(o Options) *Engine {
-	return &Engine{
-		o: o,
-		r: runner.New(o.Parallelism, func(k runKey) (*system.Result, error) {
-			res, err := system.Run(k.cfg, workload.MustByName(k.kernel))
-			if err != nil {
-				return nil, fmt.Errorf("%s/%s: %w", k.cfg.Kind, k.kernel, err)
-			}
-			return res, nil
-		}),
+	e := &Engine{
+		o:    o,
+		seen: map[system.Prefix]bool{},
 	}
+	e.pr = runner.New(o.Parallelism, func(pr system.Prefix) (*system.Checkpoint, error) {
+		cp, err := system.CapturePrefix(pr)
+		if err != nil {
+			return nil, fmt.Errorf("%s prefix: %w", pr.Cfg.Kind, err)
+		}
+		e.mu.Lock()
+		e.cps = append(e.cps, cp)
+		e.mu.Unlock()
+		return cp, nil
+	})
+	e.r = runner.New(o.Parallelism, func(k runKey) (*system.Result, error) {
+		kern := workload.MustByName(k.kernel)
+		prefix := system.PrefixOf(k.cfg, kern)
+		e.mu.Lock()
+		hit := e.seen[prefix]
+		e.seen[prefix] = true
+		e.mu.Unlock()
+		start := time.Now()
+		cp, err := e.pr.Get(prefix)
+		if err != nil {
+			return nil, fmt.Errorf("%s/%s: %w", k.cfg.Kind, k.kernel, err)
+		}
+		res, err := system.RunForked(k.cfg, kern, cp)
+		if err != nil {
+			return nil, fmt.Errorf("%s/%s: %w", k.cfg.Kind, k.kernel, err)
+		}
+		e.mu.Lock()
+		e.timings = append(e.timings, CellTiming{
+			Kind:      k.cfg.Kind,
+			Kernel:    k.kernel,
+			Wall:      time.Since(start),
+			PrefixHit: hit,
+		})
+		e.mu.Unlock()
+		return res, nil
+	})
+	return e
 }
 
 // Options returns the engine's scaling options.
 func (e *Engine) Options() Options { return e.o }
 
-// Stats reports the engine's cache and pool accounting.
+// Release returns the engine's captured checkpoint templates - the
+// dominant retained allocation of a full regeneration - to the component
+// storage pools, where the next engine's captures reuse them. Call once
+// every table the engine will produce has been assembled; tables and
+// results stay valid (they own their data), but further cell runs
+// through a released engine fall back to cold simulations.
+func (e *Engine) Release() {
+	e.mu.Lock()
+	cps := e.cps
+	e.cps = nil
+	e.mu.Unlock()
+	for _, cp := range cps {
+		cp.Release()
+	}
+}
+
+// Stats reports the engine's cache and pool accounting (simulation
+// cells; checkpoint captures are accounted under PrefixStats).
 func (e *Engine) Stats() runner.Stats { return e.r.Stats() }
+
+// PrefixStats reports the checkpoint cache's accounting: Runs is the
+// number of distinct prefixes captured, Coalesced the cells that waited
+// on an in-flight capture.
+func (e *Engine) PrefixStats() runner.Stats { return e.pr.Stats() }
+
+// SlowestCells returns the n largest simulation cells by host
+// wall-clock, slowest first, each tagged with whether its prefix
+// checkpoint already existed when the cell started.
+func (e *Engine) SlowestCells(n int) []CellTiming {
+	e.mu.Lock()
+	out := make([]CellTiming, len(e.timings))
+	copy(out, e.timings)
+	e.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Wall != out[j].Wall {
+			return out[i].Wall > out[j].Wall
+		}
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		return out[i].Kernel < out[j].Kernel
+	})
+	if n < len(out) {
+		out = out[:n]
+	}
+	return out
+}
 
 // get returns the default-config cell for kind x kernel, running it if
 // no experiment has needed it yet.

@@ -181,9 +181,7 @@ func (a *Array) die(page uint64) *sim.Resource { return a.dies[page%uint64(a.pro
 // slab). Frames must read as zero: ProgramPage may copy fewer than
 // PageBytes into one, and unwritten tails are architecturally erased.
 func (a *Array) newFrame() []byte {
-	if n := len(a.freePages); n > 0 {
-		f := a.freePages[n-1]
-		a.freePages = a.freePages[:n-1]
+	if f := a.rawFrame(); f != nil {
 		for i := range f {
 			f[i] = 0
 		}
@@ -196,6 +194,19 @@ func (a *Array) newFrame() []byte {
 	f := a.frames[:pb:pb]
 	a.frames = a.frames[pb:]
 	return f
+}
+
+// rawFrame returns a recycled frame with stale contents, or nil when
+// both the local recycle list and the package pool are empty. Callers
+// that overwrite the whole frame (CopyFrom) use it directly; newFrame
+// zeroes it.
+func (a *Array) rawFrame() []byte {
+	if n := len(a.freePages); n > 0 {
+		f := a.freePages[n-1]
+		a.freePages = a.freePages[:n-1]
+		return f
+	}
+	return pooledFrame(a.prof.PageBytes)
 }
 
 func (a *Array) check(page uint64) error {

@@ -1,0 +1,8 @@
+package lpddr
+
+// CopyFrom clones src's protocol state into t. Command history is a
+// debugging aid, not simulated state, and stays fresh.
+func (t *Tracker) CopyFrom(src *Tracker) {
+	copy(t.rabLoaded, src.rabLoaded)
+	copy(t.activated, src.activated)
+}

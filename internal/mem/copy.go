@@ -1,0 +1,81 @@
+package mem
+
+import "sync"
+
+// CopyFrom clones src's bus timeline, traffic totals and page store into
+// f. Both memories must share size/latency/bandwidth configuration.
+func (f *Flat) CopyFrom(src *Flat) {
+	f.bus.CopyFrom(src.bus)
+	f.store.CopyFrom(src.store)
+	f.reads = src.reads
+	f.writes = src.writes
+	f.bytesIn = src.bytesIn
+	f.bytesOut = src.bytesOut
+}
+
+// Release returns the page store to the package pool. Call only once the
+// memory's contents are no longer needed.
+func (f *Flat) Release() { f.store.Release() }
+
+// pagePool recycles sparse page frames across simulation runs, so each
+// experiment cell's staging traffic does not re-allocate the page
+// population the previous cell just dropped. Pooled pages hold stale
+// bytes; newPage zeroes on acquisition (untouched space must read as
+// zero), CopyFrom overwrites whole pages and skips the clear.
+var pagePool struct {
+	mu   sync.Mutex
+	free [][]byte
+}
+
+func pooledPage() []byte {
+	pagePool.mu.Lock()
+	defer pagePool.mu.Unlock()
+	n := len(pagePool.free)
+	if n == 0 {
+		return nil
+	}
+	p := pagePool.free[n-1]
+	pagePool.free[n-1] = nil
+	pagePool.free = pagePool.free[:n-1]
+	return p
+}
+
+// newPage returns a zeroed page frame.
+func newPage() []byte {
+	if p := pooledPage(); p != nil {
+		zeroFill(p)
+		return p
+	}
+	return make([]byte, sparsePage)
+}
+
+// Release returns every materialized page to the pool and empties the
+// store.
+func (s *Sparse) Release() {
+	if len(s.pages) == 0 {
+		return
+	}
+	pagePool.mu.Lock()
+	for pg, p := range s.pages {
+		pagePool.free = append(pagePool.free, p)
+		delete(s.pages, pg)
+	}
+	pagePool.mu.Unlock()
+}
+
+// CopyFrom replaces s's contents with a deep copy of src's pages, so
+// later writes to either store never alias the other.
+func (s *Sparse) CopyFrom(src *Sparse) {
+	s.Release()
+	if s.pages == nil {
+		s.pages = make(map[uint64][]byte, len(src.pages))
+	}
+	for pg, data := range src.pages {
+		p := pooledPage()
+		if p == nil {
+			p = make([]byte, sparsePage)
+		}
+		copy(p, data)
+		s.pages[pg] = p
+	}
+}

@@ -217,7 +217,7 @@ func (s *Sparse) Write(addr uint64, data []byte) {
 		}
 		p, ok := s.pages[pg]
 		if !ok {
-			p = make([]byte, sparsePage)
+			p = newPage()
 			s.pages[pg] = p
 		}
 		copy(p[po:], data[off:off+take])

@@ -41,6 +41,16 @@ type channel struct {
 	rmwRow  []byte
 	execBuf [1]byte // the 1-byte RegExec touch, hoisted off writeWave
 
+	// Batch scratch, reused across calls (the channel is single-threaded
+	// per simulation): per-module wave counters, the wave tables of the
+	// read and write batch paths, and readWave's per-module buffer-pair
+	// claim masks. Reuse keeps the kernel phase's per-request cost free
+	// of map and slice churn.
+	seenScratch []int
+	rWaves      [][]*rowReq
+	wWaves      [][]*writeReq
+	claimed     []uint8
+
 	// tr records per-channel timeline spans when tracing is on; proc is
 	// the channel's trace process name and tracks the per-package thread
 	// names, precomputed so recording a span allocates nothing. tr is nil
@@ -84,6 +94,8 @@ func newChannel(idx int, cfg Config) (*channel, error) {
 		modLastDone: make([]sim.Time, cfg.Params.Packages),
 		zeroRow:     make([]byte, cfg.Geometry.RowBytes),
 		rmwRow:      make([]byte, cfg.Geometry.RowBytes),
+		seenScratch: make([]int, cfg.Params.Packages),
+		claimed:     make([]uint8, cfg.Params.Packages),
 	}
 	ch.execBuf[0] = 1
 	ch.tr = cfg.Obs.Tracer()
@@ -293,22 +305,35 @@ func (ch *channel) readBatch(at sim.Time, reqs []rowReq) error {
 	if perMod < 1 {
 		perMod = 1
 	}
-	waves := make([][]*rowReq, 0, 2)
-	seen := map[int]int{}
+	seen := ch.resetSeen()
+	waves, used := ch.rWaves, 0
 	for i := range reqs {
 		w := seen[reqs[i].mod] / perMod
 		seen[reqs[i].mod]++
-		for len(waves) <= w {
-			waves = append(waves, nil)
+		for used <= w {
+			if used == len(waves) {
+				waves = append(waves, nil)
+			}
+			waves[used] = waves[used][:0]
+			used++
 		}
 		waves[w] = append(waves[w], &reqs[i])
 	}
-	for _, wave := range waves {
+	ch.rWaves = waves
+	for _, wave := range waves[:used] {
 		if err := ch.readWave(at, wave); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// resetSeen returns the per-module wave counter scratch, zeroed.
+func (ch *channel) resetSeen() []int {
+	for i := range ch.seenScratch {
+		ch.seenScratch[i] = 0
+	}
+	return ch.seenScratch
 }
 
 // readOne runs all three phases of a single request back to back.
@@ -347,7 +372,10 @@ func (ch *channel) readWave(at sim.Time, wave []*rowReq) error {
 		// another row's activity in this wave (Figure 12).
 		ch.stats.InterleaveOverlaps += int64(len(wave) - 1)
 	}
-	claimed := map[int]uint8{}
+	claimed := ch.claimed
+	for _, r := range wave {
+		claimed[r.mod] = 0
+	}
 	// Phase 1: pre-active (or skip via RAB/RDB state).
 	for _, r := range wave {
 		m := ch.modules[r.mod]
@@ -547,17 +575,22 @@ func (ch *channel) writeBatch(at sim.Time, reqs []writeReq) error {
 		return nil
 	}
 	// Waves: at most one row per module per wave.
-	waves := make([][]*writeReq, 0, 2)
-	seen := map[int]int{}
+	seen := ch.resetSeen()
+	waves, used := ch.wWaves, 0
 	for i := range reqs {
 		w := seen[reqs[i].mod]
 		seen[reqs[i].mod] = w + 1
-		for len(waves) <= w {
-			waves = append(waves, nil)
+		for used <= w {
+			if used == len(waves) {
+				waves = append(waves, nil)
+			}
+			waves[used] = waves[used][:0]
+			used++
 		}
 		waves[w] = append(waves[w], &reqs[i])
 	}
-	for _, wave := range waves {
+	ch.wWaves = waves
+	for _, wave := range waves[:used] {
 		if err := ch.writeWave(at, wave); err != nil {
 			return err
 		}

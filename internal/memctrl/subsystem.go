@@ -34,11 +34,20 @@ type Subsystem struct {
 	// wear is the optional start-gap leveler (nil when disabled).
 	wear *wearState
 
-	// batches is the per-channel rowReq scratch ReadInto reuses across
-	// calls (the subsystem is single-threaded per simulation, like every
-	// timed component); wearRow is the gap-move copy buffer.
-	batches [][]rowReq
-	wearRow []byte
+	// batches is the per-channel rowReq scratch ReadInto and ReadScatter
+	// reuse across calls (the subsystem is single-threaded per
+	// simulation, like every timed component); wBatches and progs are
+	// Write's equivalents; wearRow is the gap-move copy buffer.
+	batches  [][]rowReq
+	wBatches [][]writeReq
+	progs    []programmed
+	wearRow  []byte
+}
+
+// programmed records one accepted row program pending wear accounting.
+type programmed struct {
+	at    sim.Time
+	paddr uint64
 }
 
 var (
@@ -100,6 +109,15 @@ func New(cfg Config) (*Subsystem, error) {
 	usableRows := cfg.Geometry.RowsPerModule - pram.WindowSize/uint64(cfg.Geometry.RowBytes)
 	s.size = usableRows * s.rowBytes * s.pkgs * s.chans
 	s.batches = make([][]rowReq, cfg.Params.Channels)
+	s.wBatches = make([][]writeReq, cfg.Params.Channels)
+	for c := range s.batches {
+		s.batches[c] = pooledRows()
+		s.wBatches[c] = pooledWrites()
+	}
+	for _, ch := range s.channels {
+		ch.rWaves = pooledRWaves()
+		ch.wWaves = pooledWWaves()
+	}
 	s.wearRow = make([]byte, cfg.Geometry.RowBytes)
 	s.initWear()
 	return s, nil
@@ -256,7 +274,10 @@ func (s *Subsystem) ReadInto(at sim.Time, addr uint64, dst []byte) (done sim.Tim
 // controller sees all requests at once and can interleave their
 // addressing phases with each other's data bursts.
 func (s *Subsystem) ReadScatter(at sim.Time, addrs []uint64, n int) (data [][]byte, done sim.Time, err error) {
-	batches := make([][]rowReq, len(s.channels))
+	batches := s.batches
+	for c := range batches {
+		batches[c] = batches[c][:0]
+	}
 	data = make([][]byte, len(addrs))
 	done = at
 	for i, a := range addrs {
@@ -297,12 +318,12 @@ func (s *Subsystem) Write(at sim.Time, addr uint64, data []byte) (done sim.Time,
 	// read-modify-write path individually. Wear accounting is deferred
 	// until every chunk has executed: a gap move in the middle would
 	// invalidate the translations pending chunks were built with.
-	batches := make([][]writeReq, len(s.channels))
-	type programmed struct {
-		at    sim.Time
-		paddr uint64
+	batches := s.wBatches
+	for c := range batches {
+		batches[c] = batches[c][:0]
 	}
-	var progs []programmed
+	progs := s.progs[:0]
+	defer func() { s.progs = progs[:0] }()
 	for off := 0; off < len(data); {
 		paddr := s.translate(addr + uint64(off))
 		loc := s.locate(paddr)

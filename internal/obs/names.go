@@ -112,6 +112,7 @@ func init() {
 		"pcie.accel.dmas", "pcie.accel.bytes", "pcie.accel.busy_ps",
 		"pcie.ssd.dmas", "pcie.ssd.bytes", "pcie.ssd.busy_ps",
 		"dram.reads", "dram.writes", "dram.bytes_read", "dram.bytes_written",
+		"system.prefix_forks", "system.prefix_cold_runs",
 	)
 	for _, p := range []string{"ssd.ext.", "ssd.int."} {
 		catalogAll(

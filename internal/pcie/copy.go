@@ -1,0 +1,10 @@
+package pcie
+
+// CopyFrom clones src's wire occupancy and DMA totals into l. Both links
+// must have been built from the same LinkConfig; checkpoint forks
+// construct a fresh link and then copy the mutable state across.
+func (l *Link) CopyFrom(src *Link) {
+	l.wire.CopyFrom(src.wire)
+	l.dmas = src.dmas
+	l.bytesMoved = src.bytesMoved
+}

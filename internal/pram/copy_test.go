@@ -1,0 +1,43 @@
+package pram
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestCopyFromReusesSegments pins the checkpoint-fork allocation
+// contract: once the segment pool is warm, cloning a module's array
+// contents draws every row segment from the pool instead of allocating.
+// The experiment engine forks hundreds of cells per suite run; a
+// regression here silently turns every fork back into a full slab
+// re-allocation.
+func TestCopyFromReusesSegments(t *testing.T) {
+	src := testModule(t)
+	row := make([]byte, src.Geometry().RowBytes)
+	for i := range row {
+		row[i] = byte(i*7 + 1)
+	}
+	// Materialize several segments' worth of rows in the source.
+	for r := uint64(0); r < 4; r++ {
+		if err := src.LoadRow(r*segRows, row); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	dst := testModule(t)
+	dst.CopyFrom(src) // warm-up: may allocate segments into the pool cycle
+
+	allocs := testing.AllocsPerRun(20, func() {
+		// Each cycle releases dst's segments to the pool and immediately
+		// draws them back; steady state must not touch the heap.
+		dst.CopyFrom(src)
+	})
+	if allocs > 0 {
+		t.Fatalf("CopyFrom allocated %.1f objects/run with a warm segment pool; want 0", allocs)
+	}
+
+	got, _ := readRow(t, dst, 0, 3*segRows)
+	if !bytes.Equal(got, row) {
+		t.Fatal("CopyFrom did not preserve row contents")
+	}
+}

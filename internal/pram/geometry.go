@@ -210,6 +210,10 @@ type rowSeg struct {
 }
 
 func newSeg(g Geometry) *rowSeg {
+	if s := pooledSeg(g); s != nil {
+		s.zero()
+		return s
+	}
 	return &rowSeg{
 		data:     make([]byte, segRows*g.RowBytes),
 		state:    make([]lpddr.CellState, segRows*g.WordsPerRow()),

@@ -263,6 +263,10 @@ func (s *SSD) newEntry() *bufEntry {
 		return e
 	}
 	pb := s.cfg.Media.PageBytes
+	if e := pooledEntry(pb); e != nil {
+		e.dirty = false
+		return e
+	}
 	if len(s.entSlab) == 0 {
 		s.entSlab = make([]bufEntry, bufSlabPages)
 		s.dataSlab = make([]byte, bufSlabPages*pb)

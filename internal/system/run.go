@@ -98,10 +98,39 @@ type build struct {
 	zeros   []byte
 }
 
+// bufPool recycles staging buffers across runs. Zeros buffers are never
+// written through, so pooled entries keep the all-zero invariant; scratch
+// buffers hold discarded read bytes and may return dirty.
+var bufPool = struct {
+	mu      sync.Mutex
+	scratch [][]byte
+	zeros   [][]byte
+}{}
+
+// pooledBuf pops a pooled buffer of at least n bytes, or nil.
+func pooledBuf(list *[][]byte, n int) []byte {
+	bufPool.mu.Lock()
+	defer bufPool.mu.Unlock()
+	for i, buf := range *list {
+		if len(buf) >= n {
+			last := len(*list) - 1
+			(*list)[i] = (*list)[last]
+			(*list)[last] = nil
+			*list = (*list)[:last]
+			return buf
+		}
+	}
+	return nil
+}
+
 // stagingBuf returns a reusable n-byte read destination.
 func (b *build) stagingBuf(n int) []byte {
 	if len(b.scratch) < n {
-		b.scratch = make([]byte, n)
+		if buf := pooledBuf(&bufPool.scratch, n); buf != nil {
+			b.scratch = buf
+		} else {
+			b.scratch = make([]byte, n)
+		}
 	}
 	return b.scratch[:n]
 }
@@ -109,7 +138,11 @@ func (b *build) stagingBuf(n int) []byte {
 // zeroBuf returns n zero bytes for synthetic staging writes.
 func (b *build) zeroBuf(n int) []byte {
 	if len(b.zeros) < n {
-		b.zeros = make([]byte, n)
+		if buf := pooledBuf(&bufPool.zeros, n); buf != nil {
+			b.zeros = buf
+		} else {
+			b.zeros = make([]byte, n)
+		}
 	}
 	return b.zeros[:n]
 }
@@ -340,16 +373,17 @@ var (
 
 // populate places input data in the persistent store before measurement
 // (offline, untimed where the device allows it) and returns the earliest
-// measurable start time.
-func (b *build) populate(k workload.Kernel, p workload.Params) (sim.Time, error) {
+// measurable start time. It takes the footprint as scalars rather than a
+// kernel so a checkpoint prefix (which has no kernel, only a Prefix key)
+// can run it too.
+func (b *build) populate(total int64, base uint64) (sim.Time, error) {
 	// The input region gets its initial data; the output region gets
 	// stale bytes from an earlier job - a long-running accelerator never
 	// writes onto pristine cells, which is exactly the overwrite penalty
 	// selective erasing attacks.
-	total := k.FootprintBytes(p)
 	buf := populateBuf()
 	writeAll := func(dev mem.Device) (sim.Time, error) {
-		return stageWrite(dev, 0, p.BaseAddr, total, int64(len(buf)), buf)
+		return stageWrite(dev, 0, base, total, int64(len(buf)), buf)
 	}
 	switch b.cfg.Kind {
 	case Hetero, Heterodirect, HeteroPRAM, HeterodirectPRAM:
@@ -387,7 +421,7 @@ func (b *build) populate(k workload.Kernel, p workload.Params) (sim.Time, error)
 			if n > total-off {
 				n = total - off
 			}
-			if err := b.sub.Populate(p.BaseAddr+uint64(off), buf[:n]); err != nil {
+			if err := b.sub.Populate(base+uint64(off), buf[:n]); err != nil {
 				return 0, err
 			}
 		}
@@ -399,7 +433,9 @@ func (b *build) populate(k workload.Kernel, p workload.Params) (sim.Time, error)
 }
 
 // Run executes kernel k on the system described by cfg and returns the
-// full result.
+// full result, simulating the populate/load prefix from scratch. See
+// RunForked (fork.go) for the checkpointed path that shares one captured
+// prefix across runs.
 func Run(cfg Config, k workload.Kernel) (*Result, error) {
 	b, err := newBuild(cfg)
 	if err != nil {
@@ -409,21 +445,30 @@ func Run(cfg Config, k workload.Kernel) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	setupEnd, err := b.populate(k, p)
+	in, out := k.InputBytes(p), k.OutputBytes(p)
+	setupEnd, err := b.populate(in+out, p.BaseAddr)
 	if err != nil {
 		return nil, err
 	}
 	runStart := setupEnd + sim.Microsecond
 	snap := b.snapshot()
 
-	in, out := k.InputBytes(p), k.OutputBytes(p)
-
 	// ---- Load phase: deliver the kernel image, and for heterogeneous
 	// systems stage the input into the accelerator DRAM. ----
-	loadEnd, err := b.loadPhase(runStart, k, p, in)
+	loadEnd, err := b.loadPhase(runStart, in, out, p.BaseAddr, p.Agents)
 	if err != nil {
 		return nil, err
 	}
+	return b.finish(k, p, runStart, loadEnd, snap, CounterPrefixColdRuns)
+}
+
+// finish runs the kernel and store phases on a build whose prefix
+// (populate + load) is already complete, then assembles the result and
+// collects observability. prefixCounter names how the prefix came to be
+// (cold simulation vs checkpoint fork); it lands at the tail of the
+// registry so cold and forked runs stay comparable after filtering it.
+func (b *build) finish(k workload.Kernel, p workload.Params, runStart, loadEnd sim.Time, snap snapshot, prefixCounter string) (*Result, error) {
+	cfg := b.cfg
 
 	// ---- Kernel phase. ----
 	rep, err := b.acc.RunKernel(loadEnd, k, p)
@@ -433,7 +478,7 @@ func Run(cfg Config, k workload.Kernel) (*Result, error) {
 	kernelEnd := rep.End
 
 	// ---- Store phase: persist outputs. ----
-	storeEnd, err := b.storePhase(kernelEnd, k, p, out)
+	storeEnd, err := b.storePhase(kernelEnd, k, p, k.OutputBytes(p))
 	if err != nil {
 		return nil, err
 	}
@@ -466,6 +511,7 @@ func Run(cfg Config, k workload.Kernel) (*Result, error) {
 	res.Energy = b.accountEnergy(snap, rep, runStart, loadEnd, kernelEnd, storeEnd)
 
 	b.collectCounters(rep, &res.Counters)
+	res.Counters.Add(prefixCounter, 1)
 	if hs := cfg.Obs.Histograms(); hs != nil {
 		hs.Get(obs.HistSystemLoad).Record(int64(loadEnd - runStart))
 		hs.Get(obs.HistSystemKernel).Record(int64(kernelEnd - loadEnd))
@@ -477,11 +523,48 @@ func Run(cfg Config, k workload.Kernel) (*Result, error) {
 		tr.Span("system", "run", TimeStore, kernelEnd, storeEnd)
 	}
 	cfg.Obs.Record(&res.Counters)
+	b.release()
 	return res, nil
 }
 
-// loadPhase stages inputs and delivers the kernel image.
-func (b *build) loadPhase(at sim.Time, k workload.Kernel, p workload.Params, in int64) (sim.Time, error) {
+// release returns pooled storage (PRAM row segments, SSD buffer entries,
+// flash page frames, sparse memory pages, staging buffers) once the
+// run's results are collected. Checkpoint template builds are released
+// only through Checkpoint.Release, after the last fork: forks keep
+// reading their state for the checkpoint's lifetime.
+func (b *build) release() {
+	bufPool.mu.Lock()
+	if b.scratch != nil {
+		bufPool.scratch = append(bufPool.scratch, b.scratch)
+		b.scratch = nil
+	}
+	if b.zeros != nil {
+		bufPool.zeros = append(bufPool.zeros, b.zeros)
+		b.zeros = nil
+	}
+	bufPool.mu.Unlock()
+	if b.sub != nil {
+		b.sub.Release()
+	}
+	if b.extSSD != nil {
+		b.extSSD.Release()
+	}
+	if b.intSSD != nil {
+		b.intSSD.Release()
+	}
+	if b.nor != nil {
+		b.nor.Release()
+	}
+	if b.dram != nil {
+		b.dram.Release()
+	}
+}
+
+// loadPhase stages inputs and delivers the kernel image. Like populate
+// it consumes kernel-derived scalars (input/output bytes, base address,
+// agent count) instead of the kernel itself, so a checkpoint prefix can
+// replay it from a Prefix key alone.
+func (b *build) loadPhase(at sim.Time, in, out int64, base uint64, agents int) (sim.Time, error) {
 	cfg := b.cfg
 	// Kernel image delivery is common to every organization: the host
 	// packs and pushes ~64 KiB over PCIe.
@@ -493,7 +576,7 @@ func (b *build) loadPhase(at sim.Time, k workload.Kernel, p workload.Params, in 
 		// files -> host DRAM -> deserialize -> DMA to accelerator DRAM.
 		stackDone, _, _ := b.host.FileIO(at, in)
 		step := int64(cfg.Host.IOBytes)
-		devDone, err := stageRead(b.extSSD, at, p.BaseAddr, in, step, b.stagingBuf(int(step)))
+		devDone, err := stageRead(b.extSSD, at, base, in, step, b.stagingBuf(int(step)))
 		if err != nil {
 			return 0, err
 		}
@@ -501,7 +584,7 @@ func (b *build) loadPhase(at sim.Time, k workload.Kernel, p workload.Params, in 
 		t = b.host.Deserialize(t, in)
 		t = b.accLink.DMA(t, in)
 		// Land the data in the accelerator DRAM.
-		d, err := b.dram.Write(t, p.BaseAddr, b.zeroBuf(int(minI64(in, 1<<20))))
+		d, err := b.dram.Write(t, base, b.zeroBuf(int(minI64(in, 1<<20))))
 		if err != nil {
 			return 0, err
 		}
@@ -515,14 +598,14 @@ func (b *build) loadPhase(at sim.Time, k workload.Kernel, p workload.Params, in 
 		// SSD -> switch -> accelerator.
 		t = b.host.Submit(t)
 		step := int64(cfg.Host.IOBytes)
-		devDone, err := stageRead(b.extSSD, at, p.BaseAddr, in, step, b.stagingBuf(int(step)))
+		devDone, err := stageRead(b.extSSD, at, base, in, step, b.stagingBuf(int(step)))
 		if err != nil {
 			return 0, err
 		}
 		t = sim.Max(t, devDone)
 		t = b.p2p.Transfer(t, in)
 		t = b.host.Completion(t)
-		d, err := b.dram.Write(t, p.BaseAddr, b.zeroBuf(int(minI64(in, 1<<20))))
+		d, err := b.dram.Write(t, base, b.zeroBuf(int(minI64(in, 1<<20))))
 		if err != nil {
 			return 0, err
 		}
@@ -538,9 +621,9 @@ func (b *build) loadPhase(at sim.Time, k workload.Kernel, p workload.Params, in 
 		img := &kernel.Image{
 			SharedAddr: b.backend.Size() - 4*imageBytes,
 			Shared:     make([]byte, 4<<10),
-			Apps:       make([]kernel.App, 0, p.Agents),
+			Apps:       make([]kernel.App, 0, agents),
 		}
-		for i := 0; i < p.Agents; i++ {
+		for i := 0; i < agents; i++ {
 			img.Apps = append(img.Apps, kernel.App{
 				BootAddr: b.backend.Size() - 3*imageBytes + uint64(i*4<<10),
 				Code:     make([]byte, 2<<10),
@@ -555,8 +638,8 @@ func (b *build) loadPhase(at sim.Time, k workload.Kernel, p workload.Params, in 
 			return 0, err
 		}
 		if b.sub != nil {
-			outAddr := k.OutputAddr(p)
-			d, err := b.sub.PreErase(t2, outAddr, int(k.OutputBytes(p)))
+			outAddr := base + uint64(in)
+			d, err := b.sub.PreErase(t2, outAddr, int(out))
 			if err != nil {
 				return 0, err
 			}
