@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: build test race race-experiments bench bench-json bench-compare hist-json hist-compare profile trace vet fmt-check ci ci-full verify
+.PHONY: build test race race-experiments race-sim bench bench-json bench-compare hist-json hist-compare profile trace vet fmt-check ci ci-full verify
 
 build:
 	$(GO) build ./...
@@ -24,6 +24,16 @@ race:
 race-experiments:
 	$(GO) test -race -count 1 ./internal/experiments/...
 
+# Focused race pass on the event kernel and the windowed lane executor:
+# lane workers publish frontiers through atomics and hand heads back to
+# the coordinator over channels, so the lane tests (including the
+# cross-engine equivalence suite, which runs four lane goroutines per
+# simulation) stay under the race detector even if the full-module sweep
+# is ever trimmed (see DESIGN.md §13).
+race-sim:
+	$(GO) test -race -count 1 ./internal/sim/... ./internal/accel/...
+	$(GO) test -race -count 1 -run 'Laned' ./internal/system/...
+
 # Full benchmark sweep; BenchmarkAllExperiments is the top-level number
 # to track (serial vs parallel over the shared result cache).
 bench:
@@ -37,7 +47,7 @@ bench:
 # only ever slow a deterministic benchmark, so min-of-means is the
 # noise-robust estimator where the old single shot flapped ±20%).
 bench-json:
-	$(GO) test -run '^$$' -bench '^(BenchmarkAllExperiments|BenchmarkFig|BenchmarkTable|BenchmarkSec5)' \
+	$(GO) test -run '^$$' -bench '^(BenchmarkAllExperiments|BenchmarkLaneEngine|BenchmarkFig|BenchmarkTable|BenchmarkSec5)' \
 		-benchmem -benchtime 5x -count 5 . | $(GO) run ./tools/benchjson -out BENCH_suite.json
 
 # Perf regression gate: rerun the suite benchmarks (same min-of-means
@@ -46,7 +56,7 @@ bench-json:
 # 10%. Host timings are still noisy, so this is an optional CI target
 # (ci-full), not part of the default `make ci` gate.
 bench-compare:
-	$(GO) test -run '^$$' -bench '^(BenchmarkAllExperiments|BenchmarkFig|BenchmarkTable|BenchmarkSec5)' \
+	$(GO) test -run '^$$' -bench '^(BenchmarkAllExperiments|BenchmarkLaneEngine|BenchmarkFig|BenchmarkTable|BenchmarkSec5)' \
 		-benchmem -benchtime 5x -count 5 . | $(GO) run ./tools/benchjson -compare BENCH_suite.json
 
 # Latency distribution baseline: the reference run's full histogram
@@ -92,7 +102,7 @@ fmt-check:
 
 # Pre-merge gate: everything a PR must pass before landing - build,
 # tests, race detector, go vet and gofmt. `make verify` is its alias.
-ci: test race race-experiments vet fmt-check
+ci: test race race-experiments race-sim vet fmt-check
 
 # ci plus the perf and latency regression gates against the committed
 # baselines.

@@ -69,35 +69,40 @@ func fastOpts() dramless.ExperimentOptions { return dramless.FastExperiments() }
 // ---- Full suite ----
 
 // BenchmarkAllExperiments regenerates every table and figure through one
-// shared engine, serial versus pool-parallel - the top-level number to
-// track across PRs. The parallel variant uses the same cross-experiment
-// result cache, so the serial/parallel ratio isolates the worker pool's
-// contribution; sims/cache-hits metrics expose the dedup itself.
+// shared engine, serial versus pool-parallel versus lane-parallel - the
+// top-level numbers to track across PRs. All variants share the same
+// cross-experiment result cache, so the ratios isolate the worker pool
+// and the intra-simulation lane executor; sims/cache-hits metrics expose
+// the dedup itself, and events/sec is the dispatch throughput of the
+// event kernel (total kernel-phase events over host wall-clock), which
+// attributes suite speedups to the kernel rather than to caching.
 //
-// Worker counts are pinned explicitly: Parallelism=0 means GOMAXPROCS,
-// which on a single-CPU runner silently degenerates to one worker - the
-// committed BENCH_suite.json once recorded "parallel" with workers=1,
-// making the serial/parallel comparison a no-op. The parallel variant
-// therefore asks for at least two workers (the pool is not clamped to
-// the CPU count, so this exercises real pool scheduling even when it
-// cannot speed anything up) and fails loudly if the runner reports a
-// different worker count than requested.
+// Worker counts are sized from the benchmark's visible GOMAXPROCS: a
+// parallel pool wider than the host only adds scheduling overhead (the
+// committed BENCH_suite.json once recorded "parallel" at two forced
+// workers on a single-CPU runner losing to serial, 1.42s vs 1.28s). On
+// such hosts the serial/parallel comparison is a no-op; that degenerate
+// case is reported as a metric instead of failed, because the host -
+// not the harness - decides the core count. The serial and parallel
+// variants pin the legacy engine (Lanes: -1) so their numbers stay
+// comparable across PRs; the laned variant gives every core to the lane
+// executor instead of the pool.
 func BenchmarkAllExperiments(b *testing.B) {
 	parallel := runtime.GOMAXPROCS(0)
-	if parallel < 2 {
-		parallel = 2
-	}
 	for _, bc := range []struct {
-		name string
-		par  int
+		name       string
+		par, lanes int
 	}{
-		{"serial", 1},
-		{"parallel", parallel},
+		{"serial", 1, -1},
+		{"parallel", parallel, -1},
+		{"laned", 1, parallel},
 	} {
 		b.Run(bc.name, func(b *testing.B) {
 			o := fastOpts()
 			o.Parallelism = bc.par
+			o.Lanes = bc.lanes
 			var st dramless.ExperimentRunStats
+			var events int64
 			for i := 0; i < b.N; i++ {
 				eng := dramless.NewExperimentEngine(o)
 				tabs, err := eng.Tables()
@@ -108,17 +113,61 @@ func BenchmarkAllExperiments(b *testing.B) {
 					b.Fatalf("got %d tables, want %d", len(tabs), len(dramless.ExperimentIDs()))
 				}
 				st = eng.Stats()
+				events += eng.Events()
 				eng.Release()
 			}
 			if st.Workers != bc.par {
 				b.Fatalf("engine ran with %d workers, requested %d", st.Workers, bc.par)
 			}
-			if bc.name == "parallel" && st.Workers < 2 {
-				b.Fatalf("parallel variant degenerated to %d worker(s)", st.Workers)
+			if bc.name == "parallel" && runtime.GOMAXPROCS(0) < 2 {
+				b.Logf("single-CPU host (GOMAXPROCS=%d): the serial/parallel comparison is a no-op", runtime.GOMAXPROCS(0))
+				b.ReportMetric(1, "degenerate")
 			}
 			b.ReportMetric(float64(st.Runs), "sims")
 			b.ReportMetric(float64(st.Hits), "cache-hits")
 			b.ReportMetric(float64(st.Workers), "workers")
+			if sec := b.Elapsed().Seconds(); sec > 0 {
+				b.ReportMetric(float64(events)/sec, "events/sec")
+			}
+		})
+	}
+}
+
+// BenchmarkLaneEngine pins the lane executor against the legacy serial
+// loop on the suite's heaviest cell (DRAM-less x adi, per -slowest): one
+// full end-to-end run per iteration at each engine setting, same
+// simulated result by the TestLanedMatchesSerial gate. events/sec is the
+// kernel-phase dispatch throughput; on multi-core hosts the laned4
+// variant is the number that should pull ahead, on a single-CPU runner
+// it only measures coordination overhead.
+func BenchmarkLaneEngine(b *testing.B) {
+	w, err := dramless.WorkloadByName("adi")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, bc := range []struct {
+		name  string
+		lanes int
+	}{
+		{"legacy", 0},
+		{"laned-serial", 1},
+		{"laned4", 4},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			var events int64
+			for i := 0; i < b.N; i++ {
+				cfg := dramless.NewSystemConfig(dramless.DRAMLess)
+				cfg.Scale = 512 << 10
+				cfg.Accel.Lanes = bc.lanes
+				res, err := dramless.RunSystem(cfg, w)
+				if err != nil {
+					b.Fatal(err)
+				}
+				events += res.Report.Events
+			}
+			if sec := b.Elapsed().Seconds(); sec > 0 {
+				b.ReportMetric(float64(events)/sec, "events/sec")
+			}
 		})
 	}
 }

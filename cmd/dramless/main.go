@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	dramless experiments [-full] [-scale N] [-kernels a,b,c] [-parallel N] [id ...]
+//	dramless experiments [-full] [-scale N] [-kernels a,b,c] [-parallel N] [-lanes N] [id ...]
 //	dramless run -system DRAM-less -kernel gemver [-scale N]
 //	dramless list
 //
@@ -93,15 +93,18 @@ func usage() {
 
 commands:
   experiments [-full] [-scale bytes] [-kernels a,b,c] [-parallel N]
-        [-slowest N] [id ...]
+        [-lanes N] [-slowest N] [id ...]
         regenerate the paper's tables/figures (default: all of them);
         -parallel bounds the simulation worker pool (0 = GOMAXPROCS,
-        1 = serial) - output is byte-identical at any setting;
-        -slowest lists the N slowest cells by host wall-clock, each
-        tagged with whether it forked a cached populate/load prefix
-        checkpoint or simulated it cold
+        1 = serial) and -lanes the deterministic event lanes inside
+        each simulation (0 = share leftover cores with the pool,
+        -1 = legacy engine) - output is byte-identical at any setting
+        of either; -slowest lists the N slowest cells by host
+        wall-clock, each tagged with whether it forked a cached
+        populate/load prefix checkpoint or simulated it cold
   run   -system <name> -kernel <name> [-scale bytes] [-scheduler name]
         [-trace out.json] [-hist out.json] [-series out.json] [-counters]
+        [-lanes N]
         one end-to-end system simulation with full breakdowns;
         -trace records a simulated-time timeline (open the JSON in
         chrome://tracing), -hist exports per-instrument latency
@@ -142,6 +145,7 @@ func cmdExperiments(args []string) {
 	scale := fs.Int64("scale", 0, "override footprint scale in bytes")
 	kernels := fs.String("kernels", "", "comma-separated kernel subset")
 	parallel := fs.Int("parallel", 0, "simulation worker pool size (0 = GOMAXPROCS, 1 = serial)")
+	lanes := fs.Int("lanes", 0, "event lanes inside each simulation (0 = share cores with the pool, -1 = legacy engine)")
 	slowest := fs.Int("slowest", 0, "report the N slowest simulation cells with prefix cache hit/miss")
 	startProf := profileFlags(fs)
 	fs.Parse(args)
@@ -159,6 +163,7 @@ func cmdExperiments(args []string) {
 		o.Kernels = strings.Split(*kernels, ",")
 	}
 	o.Parallelism = *parallel
+	o.Lanes = *lanes
 
 	ids := fs.Args()
 	if len(ids) == 0 {
@@ -276,6 +281,7 @@ func cmdRun(args []string) {
 	histOut := fs.String("hist", "", "export latency histograms to this file (.csv for CSV, else JSON)")
 	seriesOut := fs.String("series", "", "export simulated-time series to this file (.csv for CSV, else JSON)")
 	counters := fs.Bool("counters", false, "print the run's hardware counters")
+	lanes := fs.Int("lanes", 0, "event lanes inside the simulation (0 = legacy engine, 1 = laned serial, N = windowed parallel)")
 	startProf := profileFlags(fs)
 	fs.Parse(args)
 	stopProf := startProf()
@@ -306,6 +312,7 @@ func cmdRun(args []string) {
 	observer := dramless.NewObserver(obsOpts...)
 	cfg := dramless.NewSystemConfig(kind, dramless.WithObserver(observer))
 	cfg.Scale = *scale
+	cfg.Accel.Lanes = *lanes
 	if *schedName != "" {
 		if cfg.Scheduler, err = parseScheduler(*schedName); err != nil {
 			fmt.Fprintln(os.Stderr, err)

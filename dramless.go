@@ -366,8 +366,10 @@ func RunSystem(cfg SystemConfig, w Workload) (*SystemResult, error) {
 type ExperimentTable = experiments.Table
 
 // ExperimentOptions scales the experiment harness. Parallelism bounds
-// the run engine's worker pool (0 = GOMAXPROCS, 1 = serial); rendered
-// tables are byte-identical at any setting.
+// the run engine's worker pool (0 = GOMAXPROCS, 1 = serial) and Lanes
+// the deterministic lane parallelism inside each simulation (0 = share
+// the remaining cores with the pool, -1 = legacy serial engine);
+// rendered tables are byte-identical at any setting of either.
 type ExperimentOptions = experiments.Options
 
 // ExperimentEngine is the parallel experiment run engine: one shared,
@@ -405,7 +407,7 @@ var defaultEngines struct {
 // defaultEngine returns the process-wide engine for o, building it on
 // first use.
 func defaultEngine(o ExperimentOptions) *ExperimentEngine {
-	key := fmt.Sprintf("%d|%q|%d", o.Scale, o.Kernels, o.Parallelism)
+	key := fmt.Sprintf("%d|%q|%d|%d", o.Scale, o.Kernels, o.Parallelism, o.Lanes)
 	defaultEngines.Lock()
 	defer defaultEngines.Unlock()
 	if defaultEngines.m == nil {

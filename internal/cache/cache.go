@@ -432,6 +432,58 @@ func (c *Cache) wouldHit(addr uint64, n int) bool {
 	return c.lookup(set, tag) >= 0
 }
 
+// AccessPrivate reports whether a whole access of n bytes at addr —
+// including one spanning multiple lines, which the run-folding fast
+// paths refuse — would be serviced entirely by this cache and a lower
+// private *Cache: every touched line is either resident here or a
+// privateMiss. It is a pure probe (no stats, LRU or residency changes),
+// used by the lane executor to classify a fold-stopping access as
+// lane-private (executable inside a tail) versus shared (a head the
+// coordinator must dispatch). Conservative on two fronts: a non-Cache
+// lower level fails the miss arm, and two missing-or-checked lines
+// sharing a set report false (one line's fill could evict another),
+// so a true result is exact — the access cannot reach shared state.
+func (c *Cache) AccessPrivate(addr uint64, n int) bool {
+	if n <= 0 {
+		return true
+	}
+	first := addr >> c.lineShift
+	last := (addr + uint64(n) - 1) >> c.lineShift
+	for la := first; la <= last; la++ {
+		set := int(la & c.setMask)
+		tag := la >> c.setShift
+		if c.lookup(set, tag) >= 0 {
+			// Resident lines can still be evicted by a sibling line's
+			// fill; the same-set check below guards that case too.
+		} else if !c.privateMiss(set, tag) {
+			return false
+		}
+		if first != last {
+			for lb := first; lb < la; lb++ {
+				if int(lb&c.setMask) == set {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// RebindHists re-resolves the per-access hit/miss latency instruments
+// against hs, replacing the set resolved from Config.Obs at
+// construction (nil detaches them). The lane executor uses this to give
+// each lane's caches a private shadow set while tails run concurrently;
+// the shadows merge back into the main set afterwards.
+func (c *Cache) RebindHists(hs *obs.HistogramSet) {
+	if hs == nil {
+		c.hHit, c.hMiss = nil, nil
+		return
+	}
+	lvl := c.cfg.histLevel()
+	c.hHit = hs.Get("cache." + lvl + ".hit_ps")
+	c.hMiss = hs.Get("cache." + lvl + ".miss_ps")
+}
+
 // privateMiss reports whether a miss on (set, tag) would be serviced
 // entirely by a lower private *Cache: both the fill and any dirty
 // victim's writeback hit there. The probe is exact - hit-path execution

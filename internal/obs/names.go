@@ -109,6 +109,7 @@ func init() {
 		"accel.psc.boots", "accel.psc.transitions", "accel.job_queue_wait_ps",
 		"accel.mcu_busy_ps", "accel.events_dispatched", "accel.events_recycled",
 		"sim.events_dispatched", "sim.events_recycled",
+		"sim.lane.peN.events", "sim.lane.windows", "sim.lane.barrier_stalls",
 		"pcie.accel.dmas", "pcie.accel.bytes", "pcie.accel.busy_ps",
 		"pcie.ssd.dmas", "pcie.ssd.bytes", "pcie.ssd.busy_ps",
 		"dram.reads", "dram.writes", "dram.bytes_read", "dram.bytes_written",

@@ -10,8 +10,18 @@ type Event struct {
 	At Time
 	Fn func(now Time)
 
-	seq int64 // tie-breaker: events at the same time run in schedule order
-	idx int   // heap index
+	seq int64  // tie-breaker: events at the same time run in schedule order
+	idx int    // heap index
+	gen uint64 // incremented every time the object is freed for reuse
+}
+
+// Handle identifies one scheduled event for Cancel. It pairs the event
+// object with the generation it was scheduled under, so a handle held
+// past dispatch (or past its own Cancel) is detectably stale even after
+// the free list has reused the object for a different event.
+type Handle struct {
+	ev  *Event
+	gen uint64
 }
 
 type eventHeap []*Event
@@ -54,11 +64,10 @@ type Engine struct {
 
 	// free is the event free-list: dispatched and cancelled events are
 	// recycled by the next Schedule, so a steady-state simulation stops
-	// allocating Event objects. Consequently an *Event handle is only
-	// valid while its event is pending — once it has run or been
-	// cancelled, the same object may already describe a different event,
-	// and Cancel on a stale handle is a bug (it may remove the wrong
-	// event). No model code retains handles past dispatch today.
+	// allocating Event objects. Each recycle bumps the object's
+	// generation, so a Handle held past dispatch or cancellation no
+	// longer matches and Cancel on it is a detected no-op instead of
+	// silently removing whatever event reused the object.
 	free []*Event
 }
 
@@ -81,7 +90,7 @@ func (e *Engine) Pending() int { return len(e.queue) }
 
 // Schedule runs fn at the absolute time at. Scheduling in the past is a
 // programming error in a causal simulation, so it panics.
-func (e *Engine) Schedule(at Time, fn func(now Time)) *Event {
+func (e *Engine) Schedule(at Time, fn func(now Time)) Handle {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
 	}
@@ -96,23 +105,28 @@ func (e *Engine) Schedule(at Time, fn func(now Time)) *Event {
 	}
 	e.nextID++
 	heap.Push(&e.queue, ev)
-	return ev
+	return Handle{ev: ev, gen: ev.gen}
 }
 
 // After runs fn after delay d.
-func (e *Engine) After(d Duration, fn func(now Time)) *Event {
+func (e *Engine) After(d Duration, fn func(now Time)) Handle {
 	return e.Schedule(e.now+d, fn)
 }
 
 // Cancel removes a pending event. Cancelling an already-run or
-// already-cancelled event is a no-op and reports false.
-func (e *Engine) Cancel(ev *Event) bool {
-	if ev == nil || ev.idx < 0 || ev.idx >= len(e.queue) || e.queue[ev.idx] != ev {
+// already-cancelled event — including through a handle whose object the
+// free list has since reused for a different event — is a no-op and
+// reports false.
+func (e *Engine) Cancel(h Handle) bool {
+	ev := h.ev
+	if ev == nil || ev.gen != h.gen ||
+		ev.idx < 0 || ev.idx >= len(e.queue) || e.queue[ev.idx] != ev {
 		return false
 	}
 	heap.Remove(&e.queue, ev.idx)
 	ev.idx = -1
 	ev.Fn = nil
+	ev.gen++
 	e.free = append(e.free, ev)
 	return true
 }
@@ -128,8 +142,10 @@ func (e *Engine) Step() bool {
 	e.ran++
 	fn := ev.Fn
 	// Recycle before dispatch so fn's own Schedule call reuses the
-	// object (the common self-rescheduling pattern allocates nothing).
+	// object (the common self-rescheduling pattern allocates nothing);
+	// the generation bump invalidates any handle still pointing here.
 	ev.Fn = nil
+	ev.gen++
 	e.free = append(e.free, ev)
 	fn(e.now)
 	return true

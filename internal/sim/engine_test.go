@@ -94,6 +94,129 @@ func TestEngineCancel(t *testing.T) {
 	}
 }
 
+// TestEngineCancelStaleHandle pins the generation counter: once an
+// event has run (or been cancelled) and its object recycled for a new
+// event, Cancel through the old handle must be a detected no-op — the
+// new event stays scheduled and still fires.
+func TestEngineCancelStaleHandle(t *testing.T) {
+	e := NewEngine()
+	stale := e.Schedule(10, func(Time) {})
+	if !e.Step() {
+		t.Fatal("step did not dispatch the first event")
+	}
+	ran := false
+	fresh := e.Schedule(20, func(Time) { ran = true })
+	if fresh.ev != stale.ev {
+		t.Fatal("free list did not recycle the event object (test premise broken)")
+	}
+	if e.Cancel(stale) {
+		t.Fatal("stale handle cancelled the recycled event")
+	}
+	e.Run()
+	if !ran {
+		t.Fatal("recycled event did not fire after stale Cancel")
+	}
+
+	// Same hazard through the Cancel path: cancel, recycle, stale cancel.
+	h := e.Schedule(30, func(Time) {})
+	if !e.Cancel(h) {
+		t.Fatal("cancel of pending event failed")
+	}
+	ran2 := false
+	h2 := e.Schedule(40, func(Time) { ran2 = true })
+	if h2.ev != h.ev {
+		t.Fatal("free list did not recycle the cancelled object (test premise broken)")
+	}
+	if e.Cancel(h) {
+		t.Fatal("stale handle (via Cancel) removed the recycled event")
+	}
+	e.Run()
+	if !ran2 {
+		t.Fatal("recycled event did not fire")
+	}
+}
+
+// TestEngineCancelThenScheduleReuse pins free-list reuse through the
+// Cancel path: a cancelled event's object serves the next Schedule (the
+// recycled counter moves) and the replacement dispatches normally.
+func TestEngineCancelThenScheduleReuse(t *testing.T) {
+	e := NewEngine()
+	h := e.Schedule(10, func(Time) { t.Error("cancelled event ran") })
+	if !e.Cancel(h) {
+		t.Fatal("cancel failed")
+	}
+	before := e.Recycled()
+	var at Time
+	e.Schedule(15, func(now Time) { at = now })
+	if e.Recycled() != before+1 {
+		t.Fatalf("recycled = %d, want %d (cancelled object not reused)", e.Recycled(), before+1)
+	}
+	if end := e.Run(); end != 15 || at != 15 {
+		t.Fatalf("end = %v, fired at %v, want both 15", end, at)
+	}
+}
+
+// TestEngineRunUntilExactDeadline pins the tie rule: events scheduled
+// exactly at the deadline dispatch within RunUntil (At <= deadline),
+// and events one tick later do not.
+func TestEngineRunUntilExactDeadline(t *testing.T) {
+	e := NewEngine()
+	var ran []Time
+	note := func(now Time) { ran = append(ran, now) }
+	e.Schedule(10, note)
+	e.Schedule(20, note) // exactly at the deadline: runs
+	e.Schedule(20, note) // tie at the deadline: also runs, schedule order
+	e.Schedule(21, note) // one tick past: stays queued
+	if end := e.RunUntil(20); end != 20 {
+		t.Fatalf("RunUntil returned %v, want 20", end)
+	}
+	if len(ran) != 3 || ran[1] != 20 || ran[2] != 20 {
+		t.Fatalf("ran %v, want [10 20 20]", ran)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want the post-deadline event", e.Pending())
+	}
+	e.Run()
+	if len(ran) != 4 || ran[3] != 21 {
+		t.Fatalf("post-deadline event: ran %v, want trailing 21", ran)
+	}
+}
+
+// TestEngineSameTimeSeqDeterminism pins the same-time tie-break across
+// free-list reuse and nested scheduling: events at one instant dispatch
+// in schedule order even when their Event objects were recycled in a
+// different order than they are scheduled.
+func TestEngineSameTimeSeqDeterminism(t *testing.T) {
+	e := NewEngine()
+	// Seed and drain a few events so later Schedules pull recycled
+	// objects from the free list in LIFO order.
+	for i := 0; i < 4; i++ {
+		e.Schedule(Time(i), func(Time) {})
+	}
+	e.Run()
+
+	var order []int
+	for i := 0; i < 4; i++ {
+		i := i
+		e.Schedule(100, func(Time) {
+			order = append(order, i)
+			// Nested same-time events queue behind every already-pending
+			// event at this instant.
+			e.Schedule(100, func(Time) { order = append(order, 10+i) })
+		})
+	}
+	e.Run()
+	want := []int{0, 1, 2, 3, 10, 11, 12, 13}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
 func TestEngineRunUntil(t *testing.T) {
 	e := NewEngine()
 	var ran []Time

@@ -1,0 +1,279 @@
+// Lane executor: per-resource event lanes under a conservative windowed
+// coordinator.
+//
+// The legacy multi-core interleave (accel.runAll) is one serial loop
+// that repeatedly steps the model with the smallest local clock. The
+// lane executor splits each model's step into a *head* — the one
+// operation that may touch shared state, dispatched serially by the
+// coordinator in exactly the legacy (time, lane) order — and a *tail*
+// that provably touches only lane-private state and therefore may run
+// on the lane's own goroutine while other lanes' heads dispatch.
+//
+// Determinism does not rest on a fixed barrier cadence: the coordinator
+// dispatches a parked head only when no in-flight tail can still park
+// at an earlier (time, lane) key, using each running lane's published
+// frontier (a monotonic lower bound on its park time). A dispatched
+// head is therefore always the global minimum pending head — the same
+// head the legacy loop would pick — so the dispatch sequence, and with
+// it every shared-resource arrival order, is byte-identical to the
+// serial engine regardless of goroutine timing. The horizon parameter
+// only feeds the deterministic window/stall statistics; safety never
+// depends on it.
+package sim
+
+import "sync/atomic"
+
+// LaneModel is one per-resource event lane (a PE core in the
+// accelerator). The executor owns the calling discipline: StepHead runs
+// only on the coordinator goroutine, TailRun runs on at most one
+// goroutine at a time per lane, and the two never overlap for the same
+// lane.
+type LaneModel interface {
+	// Now returns the lane's local clock. It is read by the coordinator
+	// only while the lane is parked (no TailRun in flight).
+	Now() Time
+	// StepHead executes the lane's next head operation — the one that
+	// may touch shared state — and reports false once the lane is
+	// exhausted. It is always invoked serially, in global (Now, lane)
+	// order.
+	StepHead() (bool, error)
+	// TailRun advances the lane past its head while execution provably
+	// stays on lane-private state, returning how many additional head
+	// boundaries it absorbed inline (each one an event the legacy loop
+	// would have dispatched separately). publish, when non-nil, must be
+	// called with non-decreasing local times as the lane advances; the
+	// published value is a lower bound on the lane's eventual park time.
+	TailRun(publish func(Time)) (int64, error)
+}
+
+// LaneStats summarizes one RunLanes execution. All fields except
+// Workers are deterministic functions of the simulation alone — equal
+// across worker counts — so they are safe to export as counters.
+type LaneStats struct {
+	// Events counts dispatched events: one per head (including each
+	// lane's final exhausted dispatch) plus one per head absorbed
+	// inline by a tail. It equals the legacy loop's dispatch count.
+	Events int64
+	// LaneEvents is the per-lane share of Events.
+	LaneEvents []int64
+	// Windows counts distinct lookahead-horizon buckets the
+	// (non-decreasing) dispatch-time sequence visited.
+	Windows int64
+	// BarrierStalls counts cross-lane head handoffs within one horizon
+	// — dispatches a fixed-barrier executor would have serialized on.
+	BarrierStalls int64
+	// Workers is the effective tail-goroutine bound (1 = serial).
+	Workers int
+}
+
+// dispatchMeter derives the window/stall statistics from the dispatch
+// sequence. Both are functions of (lane, time) pairs that are identical
+// at every worker count, so the derived counters are too.
+type dispatchMeter struct {
+	horizon  Duration
+	started  bool
+	bucket   int64
+	lastLane int
+	lastT    Time
+	windows  int64
+	stalls   int64
+}
+
+func (m *dispatchMeter) note(lane int, t Time) {
+	if m.horizon <= 0 {
+		return
+	}
+	b := int64(t) / int64(m.horizon)
+	if !m.started {
+		m.started = true
+		m.windows = 1
+		m.bucket, m.lastLane, m.lastT = b, lane, t
+		return
+	}
+	if b != m.bucket {
+		m.windows++
+		m.bucket = b
+	}
+	if lane != m.lastLane && t-m.lastT < m.horizon {
+		m.stalls++
+	}
+	m.lastLane, m.lastT = lane, t
+}
+
+// RunLanes drives the lanes to exhaustion. workers bounds concurrent
+// TailRun goroutines (clamped to the lane count; <= 1 selects the
+// fully serial mode, which still beats a plain step loop because tails
+// absorb private head boundaries without a scheduler round trip).
+// horizon is the minimum cross-lane communication latency; it shapes
+// only the Windows/BarrierStalls statistics. Results are byte-identical
+// at every workers value.
+func RunLanes(lanes []LaneModel, workers int, horizon Duration) (LaneStats, error) {
+	if len(lanes) == 0 {
+		return LaneStats{Workers: 1}, nil
+	}
+	if workers > len(lanes) {
+		workers = len(lanes)
+	}
+	if workers <= 1 {
+		return runLanesSerial(lanes, horizon)
+	}
+	return runLanesParallel(lanes, workers, horizon)
+}
+
+// runLanesSerial is the single-goroutine mode: the legacy min-scan
+// dispatch order with tails executed inline.
+func runLanesSerial(lanes []LaneModel, horizon Duration) (LaneStats, error) {
+	st := LaneStats{Workers: 1, LaneEvents: make([]int64, len(lanes))}
+	m := dispatchMeter{horizon: horizon}
+	active := make([]int, len(lanes))
+	for i := range lanes {
+		active[i] = i
+	}
+	for len(active) > 0 {
+		best := 0
+		for i := 1; i < len(active); i++ {
+			a, b := active[i], active[best]
+			if lanes[a].Now() < lanes[b].Now() ||
+				(lanes[a].Now() == lanes[b].Now() && a < b) {
+				best = i
+			}
+		}
+		id := active[best]
+		m.note(id, lanes[id].Now())
+		st.Events++
+		st.LaneEvents[id]++
+		ok, err := lanes[id].StepHead()
+		if err != nil {
+			return st, err
+		}
+		if !ok {
+			active[best] = active[len(active)-1]
+			active = active[:len(active)-1]
+			continue
+		}
+		extra, err := lanes[id].TailRun(nil)
+		st.Events += extra
+		st.LaneEvents[id] += extra
+		if err != nil {
+			return st, err
+		}
+	}
+	st.Windows, st.BarrierStalls = m.windows, m.stalls
+	return st, nil
+}
+
+// lane states of the parallel coordinator.
+const (
+	laneParked  = iota // no tail in flight; Now() is its next head time
+	laneRunning        // a TailRun is in flight on the lane's worker
+	laneDone           // StepHead reported exhaustion
+)
+
+func runLanesParallel(lanes []LaneModel, workers int, horizon Duration) (LaneStats, error) {
+	n := len(lanes)
+	st := LaneStats{Workers: workers, LaneEvents: make([]int64, n)}
+	m := dispatchMeter{horizon: horizon}
+
+	type parkMsg struct {
+		lane  int
+		extra int64
+		err   error
+	}
+	// frontier[i] is lane i's published local time while running: a
+	// monotonic lower bound on where its tail will park. Atomic because
+	// the coordinator polls it mid-tail; a stale read is still a valid
+	// (smaller) bound, so no further synchronization is needed.
+	frontier := make([]atomic.Int64, n)
+	work := make([]chan struct{}, n)
+	park := make(chan parkMsg, n)
+	for i := range lanes {
+		work[i] = make(chan struct{}, 1)
+		go func(i int) {
+			publish := func(t Time) { frontier[i].Store(int64(t)) }
+			for range work[i] {
+				extra, err := lanes[i].TailRun(publish)
+				park <- parkMsg{lane: i, extra: extra, err: err}
+			}
+		}(i)
+	}
+	defer func() {
+		for i := range work {
+			close(work[i])
+		}
+	}()
+
+	absorb := func(msg parkMsg) {
+		st.Events += msg.extra
+		st.LaneEvents[msg.lane] += msg.extra
+	}
+
+	state := make([]int, n)
+	remaining, inflight := n, 0
+	var firstErr error
+	for remaining > 0 && firstErr == nil {
+		// Earliest parked head by (time, lane).
+		best, bt := -1, Time(0)
+		for i, s := range state {
+			if s != laneParked {
+				continue
+			}
+			if t := lanes[i].Now(); best < 0 || t < bt || (t == bt && i < best) {
+				best, bt = i, t
+			}
+		}
+		// Safe to dispatch iff no in-flight tail can still park at a
+		// smaller (time, lane) key: then (bt, best) is the global
+		// minimum pending head, exactly what the serial loop dispatches.
+		safe := best >= 0 && inflight < workers
+		if safe {
+			for i, s := range state {
+				if s != laneRunning {
+					continue
+				}
+				if f := Time(frontier[i].Load()); f < bt || (f == bt && i < best) {
+					safe = false
+					break
+				}
+			}
+		}
+		if !safe {
+			// A tail is always in flight here, and tails always park.
+			msg := <-park
+			inflight--
+			state[msg.lane] = laneParked
+			absorb(msg)
+			firstErr = msg.err
+			continue
+		}
+		m.note(best, bt)
+		st.Events++
+		st.LaneEvents[best]++
+		ok, err := lanes[best].StepHead()
+		if err != nil {
+			firstErr = err
+			break
+		}
+		if !ok {
+			state[best] = laneDone
+			remaining--
+			continue
+		}
+		frontier[best].Store(int64(lanes[best].Now()))
+		state[best] = laneRunning
+		inflight++
+		work[best] <- struct{}{}
+	}
+	// Drain in-flight tails so every absorbed event is counted and no
+	// worker is left sending while channels close.
+	for inflight > 0 {
+		msg := <-park
+		inflight--
+		state[msg.lane] = laneParked
+		absorb(msg)
+		if firstErr == nil {
+			firstErr = msg.err
+		}
+	}
+	st.Windows, st.BarrierStalls = m.windows, m.stalls
+	return st, firstErr
+}

@@ -1,0 +1,187 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+)
+
+// fakeOp is one operation of a synthetic lane: it advances the lane's
+// clock by dt; shared ops must execute as heads (coordinator-serial),
+// private ops may be absorbed by a tail.
+type fakeOp struct {
+	dt     Duration
+	shared bool
+}
+
+// dispatchLog records every StepHead call as (lane, time). Heads run
+// only on the coordinator goroutine, so plain appends model the shared
+// state lanes coordinate over; byte-equal logs across worker counts is
+// exactly the determinism contract.
+type dispatchLog struct {
+	lanes []int
+	times []Time
+}
+
+type fakeLane struct {
+	id      int
+	now     Time
+	ops     []fakeOp
+	pos     int
+	log     *dispatchLog
+	headErr int // error on the Nth StepHead (0 = never)
+	tailErr int // error after absorbing N ops in one TailRun (0 = never)
+	heads   int
+}
+
+func (l *fakeLane) Now() Time { return l.now }
+
+func (l *fakeLane) StepHead() (bool, error) {
+	l.log.lanes = append(l.log.lanes, l.id)
+	l.log.times = append(l.log.times, l.now)
+	if l.pos >= len(l.ops) {
+		return false, nil
+	}
+	l.heads++
+	if l.headErr > 0 && l.heads == l.headErr {
+		return false, errors.New("head boom")
+	}
+	l.now += l.ops[l.pos].dt
+	l.pos++
+	return true, nil
+}
+
+func (l *fakeLane) TailRun(publish func(Time)) (int64, error) {
+	var extra int64
+	for l.pos < len(l.ops) && !l.ops[l.pos].shared {
+		l.now += l.ops[l.pos].dt
+		l.pos++
+		extra++
+		if publish != nil {
+			publish(l.now)
+		}
+		if l.tailErr > 0 && extra == int64(l.tailErr) {
+			return extra, errors.New("tail boom")
+		}
+	}
+	return extra, nil
+}
+
+// makeLanes builds n deterministic lanes of opsEach ops from a small
+// LCG (about one op in three is shared).
+func makeLanes(n, opsEach int, log *dispatchLog) ([]LaneModel, int) {
+	seed := uint64(0x9E3779B97F4A7C15)
+	next := func() uint64 {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		return seed >> 33
+	}
+	lanes := make([]LaneModel, n)
+	total := 0
+	for i := 0; i < n; i++ {
+		ops := make([]fakeOp, opsEach)
+		for j := range ops {
+			r := next()
+			ops[j] = fakeOp{dt: Duration(r%50 + 1), shared: r%3 == 0}
+		}
+		lanes[i] = &fakeLane{id: i, ops: ops, log: log}
+		total += opsEach
+	}
+	return lanes, total
+}
+
+func TestRunLanesSerialInvariants(t *testing.T) {
+	log := &dispatchLog{}
+	lanes, total := makeLanes(5, 200, log)
+	st, err := RunLanes(lanes, 1, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every op is dispatched or absorbed, plus one exhausted dispatch
+	// per lane — the legacy loop's count.
+	if want := int64(total + len(lanes)); st.Events != want {
+		t.Fatalf("events = %d, want %d", st.Events, want)
+	}
+	var sum int64
+	for _, n := range st.LaneEvents {
+		sum += n
+	}
+	if sum != st.Events {
+		t.Fatalf("lane events sum to %d, want %d", sum, st.Events)
+	}
+	// Dispatch times are non-decreasing: each dispatched head is the
+	// global minimum pending head.
+	for i := 1; i < len(log.times); i++ {
+		if log.times[i] < log.times[i-1] {
+			t.Fatalf("dispatch %d at %v after %v: order not monotonic", i, log.times[i], log.times[i-1])
+		}
+	}
+	if st.Windows <= 0 || st.Workers != 1 {
+		t.Fatalf("stats = %+v, want positive windows and workers=1", st)
+	}
+}
+
+// TestRunLanesParallelMatchesSerial is the executor's determinism gate:
+// the head dispatch sequence and every deterministic statistic must be
+// identical at any worker count, across repeated runs.
+func TestRunLanesParallelMatchesSerial(t *testing.T) {
+	refLog := &dispatchLog{}
+	refLanes, _ := makeLanes(6, 300, refLog)
+	ref, err := RunLanes(refLanes, 1, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 6, 32} {
+		for rep := 0; rep < 3; rep++ {
+			log := &dispatchLog{}
+			lanes, _ := makeLanes(6, 300, log)
+			st, err := RunLanes(lanes, workers, 40)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Events != ref.Events || st.Windows != ref.Windows || st.BarrierStalls != ref.BarrierStalls {
+				t.Fatalf("workers=%d rep=%d: stats %+v, want %+v", workers, rep, st, ref)
+			}
+			for i := range ref.LaneEvents {
+				if st.LaneEvents[i] != ref.LaneEvents[i] {
+					t.Fatalf("workers=%d: lane %d events = %d, want %d", workers, i, st.LaneEvents[i], ref.LaneEvents[i])
+				}
+			}
+			if len(log.lanes) != len(refLog.lanes) {
+				t.Fatalf("workers=%d: %d dispatches, want %d", workers, len(log.lanes), len(refLog.lanes))
+			}
+			for i := range refLog.lanes {
+				if log.lanes[i] != refLog.lanes[i] || log.times[i] != refLog.times[i] {
+					t.Fatalf("workers=%d rep=%d: dispatch %d = (lane %d, %v), want (lane %d, %v)",
+						workers, rep, i, log.lanes[i], log.times[i], refLog.lanes[i], refLog.times[i])
+				}
+			}
+			if wantW := min(workers, 6); st.Workers != wantW {
+				t.Fatalf("workers = %d, want clamped %d", st.Workers, wantW)
+			}
+		}
+	}
+}
+
+func TestRunLanesErrorPropagation(t *testing.T) {
+	for _, workers := range []int{1, 3} {
+		log := &dispatchLog{}
+		lanes, _ := makeLanes(4, 50, log)
+		lanes[2].(*fakeLane).headErr = 5
+		if _, err := RunLanes(lanes, workers, 40); err == nil || err.Error() != "head boom" {
+			t.Fatalf("workers=%d: head error = %v, want head boom", workers, err)
+		}
+
+		log = &dispatchLog{}
+		lanes, _ = makeLanes(4, 50, log)
+		lanes[1].(*fakeLane).tailErr = 2
+		if _, err := RunLanes(lanes, workers, 40); err == nil || err.Error() != "tail boom" {
+			t.Fatalf("workers=%d: tail error = %v, want tail boom", workers, err)
+		}
+	}
+}
+
+func TestRunLanesEmpty(t *testing.T) {
+	st, err := RunLanes(nil, 4, 40)
+	if err != nil || st.Events != 0 {
+		t.Fatalf("empty run: %+v, %v", st, err)
+	}
+}

@@ -38,6 +38,11 @@ func PrefixOf(cfg Config, k workload.Kernel) Prefix {
 	norm := cfg
 	norm.Obs = nil
 	norm.SampleInterval = 0
+	// The lane knob changes only how the kernel phase executes, never
+	// its result (TestLanedMatchesSerial), and the populate/load prefix
+	// does not run kernels at all — every lane setting shares one
+	// checkpoint.
+	norm.Accel.Lanes = 0
 	return Prefix{
 		Cfg:    norm,
 		In:     k.InputBytes(p),

@@ -1,0 +1,145 @@
+package system
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"dramless/internal/obs"
+	"dramless/internal/workload"
+)
+
+// laneCounter reports the lane executor's own statistics counters,
+// which the legacy serial engine does not emit at all (prefix-origin
+// filtering, the house precedent from the prefix-fork counters). They
+// are still deterministic: the laned runs compare them against each
+// other below.
+func laneCounter(name string) bool {
+	return strings.HasPrefix(name, "sim.lane.")
+}
+
+func lanelessEntries(c *obs.Counters) []obs.Entry {
+	out := make([]obs.Entry, 0, c.Len())
+	for _, e := range c.Entries() {
+		if !laneCounter(e.Name) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// TestLanedMatchesSerial is the lane executor's equivalence oracle: for
+// every Table I organization x one kernel per workload class, the laned
+// run — at one goroutine and at N — must reproduce the legacy serial
+// engine exactly: phase walls, time/energy breakdowns, the full kernel
+// report including the event-dispatch count (lane-mode bookkeeping
+// replicates the legacy count head for head), the counter registry save
+// the lane executor's own sim.lane.* statistics, and byte-identical
+// histogram JSON and series CSV exports. The two laned runs must also
+// agree with each other on the sim.lane.* counters: lane statistics are
+// deterministic functions of the simulation, not of the worker count.
+func TestLanedMatchesSerial(t *testing.T) {
+	for _, kind := range Kinds() {
+		for _, kname := range equivKernels {
+			t.Run(kind.String()+"/"+kname, func(t *testing.T) {
+				k := workload.MustByName(kname)
+
+				run := func(lanes int) *Result {
+					cfg := testConfig(kind)
+					cfg.Scale = 128 << 10
+					cfg.Accel.Lanes = lanes
+					cfg.Obs = obs.New()
+					res, err := Run(cfg, k)
+					if err != nil {
+						t.Fatalf("lanes=%d: %v", lanes, err)
+					}
+					return res
+				}
+				serial := run(0)
+				for _, lanes := range []int{1, 4} {
+					laned := run(lanes)
+
+					if laned.Load != serial.Load || laned.Kernel != serial.Kernel ||
+						laned.Store != serial.Store || laned.Total != serial.Total {
+						t.Errorf("lanes=%d: phase walls differ:\n  laned  load=%v kernel=%v store=%v total=%v\n  serial load=%v kernel=%v store=%v total=%v",
+							lanes, laned.Load, laned.Kernel, laned.Store, laned.Total,
+							serial.Load, serial.Kernel, serial.Store, serial.Total)
+					}
+					if laned.Footprint != serial.Footprint {
+						t.Errorf("lanes=%d: footprint differs: %d != %d", lanes, laned.Footprint, serial.Footprint)
+					}
+					if !reflect.DeepEqual(laned.Time, serial.Time) {
+						t.Errorf("lanes=%d: time breakdown differs:\n  laned:  %+v\n  serial: %+v", lanes, laned.Time, serial.Time)
+					}
+					if !reflect.DeepEqual(laned.Energy, serial.Energy) {
+						t.Errorf("lanes=%d: energy account differs:\n  laned:  %+v\n  serial: %+v", lanes, laned.Energy, serial.Energy)
+					}
+
+					// The report must match including Events: the lane
+					// executor counts absorbed heads and exhausted
+					// dispatches exactly as the legacy loop dispatches
+					// them. Only the lane statistics fields are its own.
+					lr, sr := *laned.Report, *serial.Report
+					lr.LaneEvents, lr.LaneWindows, lr.LaneBarrierStalls, lr.LaneWorkers = nil, 0, 0, 0
+					if !reflect.DeepEqual(lr, sr) {
+						t.Errorf("lanes=%d: kernel report differs:\n  laned:  %+v\n  serial: %+v", lanes, lr, sr)
+					}
+
+					le := lanelessEntries(&laned.Counters)
+					se := lanelessEntries(&serial.Counters)
+					if len(le) != len(se) {
+						t.Fatalf("lanes=%d: counter registries differ in size: %d != %d", lanes, len(le), len(se))
+					}
+					for i := range le {
+						if le[i] != se[i] {
+							t.Errorf("lanes=%d: counter %q: laned %+v != serial %+v", lanes, le[i].Name, le[i], se[i])
+						}
+					}
+				}
+
+				// Lane statistics are worker-count-invariant.
+				one, four := run(1), run(4)
+				if one.Report.LaneWindows != four.Report.LaneWindows ||
+					one.Report.LaneBarrierStalls != four.Report.LaneBarrierStalls ||
+					!reflect.DeepEqual(one.Report.LaneEvents, four.Report.LaneEvents) {
+					t.Errorf("lane stats depend on worker count:\n  lanes=1: %+v\n  lanes=4: %+v",
+						one.Report, four.Report)
+				}
+
+				// Exports are byte-identical across engines: rebuild the
+				// three runs against fresh observers and diff the bytes.
+				if t.Failed() {
+					return
+				}
+				exports := func(lanes int) (hist, series []byte) {
+					cfg := testConfig(kind)
+					cfg.Scale = 128 << 10
+					cfg.Accel.Lanes = lanes
+					cfg.Obs = obs.New()
+					if _, err := Run(cfg, k); err != nil {
+						t.Fatalf("lanes=%d: %v", lanes, err)
+					}
+					var hb, sb bytes.Buffer
+					if err := cfg.Obs.Histograms().WriteJSON(&hb); err != nil {
+						t.Fatal(err)
+					}
+					if err := cfg.Obs.Series().WriteCSV(&sb); err != nil {
+						t.Fatal(err)
+					}
+					return hb.Bytes(), sb.Bytes()
+				}
+				sh, ss := exports(0)
+				for _, lanes := range []int{1, 4} {
+					lh, ls := exports(lanes)
+					if !bytes.Equal(lh, sh) {
+						t.Errorf("lanes=%d: histogram JSON export is not byte-identical to serial", lanes)
+					}
+					if !bytes.Equal(ls, ss) {
+						t.Errorf("lanes=%d: series CSV export is not byte-identical to serial", lanes)
+					}
+				}
+			})
+		}
+	}
+}

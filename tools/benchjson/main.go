@@ -1,7 +1,9 @@
 // Command benchjson converts `go test -bench` output on stdin into a
 // JSON benchmark-trajectory document. Every metric pair of each result
 // line is kept (ns/op, B/op, allocs/op and any custom b.ReportMetric
-// units), so the emitted file pins the per-figure wall-clock and
+// unit — e.g. BenchmarkAllExperiments' events/sec dispatch throughput,
+// which attributes suite speedups to the event kernel rather than to
+// caching), so the emitted file pins the per-figure wall-clock and
 // allocation counts the repo tracks across PRs:
 //
 //	go test -run '^$' -bench . -benchmem . | benchjson -out BENCH_suite.json
