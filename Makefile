@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: build test race race-experiments race-sim bench bench-json bench-compare hist-json hist-compare profile trace vet fmt-check ci ci-full verify
+.PHONY: build test race race-experiments race-sim bench bench-json bench-compare hist-json hist-compare arena-smoke profile trace vet fmt-check ci ci-full verify
 
 build:
 	$(GO) build ./...
@@ -76,6 +76,13 @@ hist-compare:
 		-hist prof/hist.current.json > /dev/null
 	$(GO) run ./tools/benchjson -hist prof/hist.current.json -hist-base HIST_baseline.json
 
+# Scheduler tournament smoke: every registered policy on one kernel.
+# Exercises the policy registry, the per-cell private observers and the
+# ranked-table assembly end to end; output is discarded (the arena tests
+# pin the table's structure and determinism).
+arena-smoke:
+	$(GO) run ./cmd/dramless arena -kernels gemver > /dev/null
+
 # CPU + heap profiles of the Figure 15 sweep (the allocation-heaviest
 # experiment) into ./prof/; inspect with `go tool pprof prof/fig15.cpu`.
 # Profiles are scratch output (gitignored), regenerated on demand here.
@@ -105,7 +112,7 @@ fmt-check:
 ci: test race race-experiments race-sim vet fmt-check
 
 # ci plus the perf and latency regression gates against the committed
-# baselines.
-ci-full: ci bench-compare hist-compare
+# baselines and the scheduler tournament smoke run.
+ci-full: ci bench-compare hist-compare arena-smoke
 
 verify: ci

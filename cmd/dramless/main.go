@@ -5,6 +5,7 @@
 //
 //	dramless experiments [-full] [-scale N] [-kernels a,b,c] [-parallel N] [-lanes N] [id ...]
 //	dramless run -system DRAM-less -kernel gemver [-scale N]
+//	dramless arena [-policies a,b] [-systems x,y] [-kernels a,b,c]
 //	dramless list
 //
 // With no experiment ids, every table and figure is regenerated in paper
@@ -71,6 +72,8 @@ func main() {
 	switch os.Args[1] {
 	case "experiments":
 		cmdExperiments(os.Args[2:])
+	case "arena":
+		cmdArena(os.Args[2:])
 	case "run":
 		cmdRun(os.Args[2:])
 	case "trace":
@@ -93,8 +96,10 @@ func usage() {
 
 commands:
   experiments [-full] [-scale bytes] [-kernels a,b,c] [-parallel N]
-        [-lanes N] [-slowest N] [id ...]
+        [-lanes N] [-scheduler name] [-slowest N] [id ...]
         regenerate the paper's tables/figures (default: all of them);
+        -scheduler overrides the DRAM-less PRAM scheduling policy for
+        every cell (any registered policy name);
         -parallel bounds the simulation worker pool (0 = GOMAXPROCS,
         1 = serial) and -lanes the deterministic event lanes inside
         each simulation (0 = share leftover cores with the pool,
@@ -102,6 +107,13 @@ commands:
         of either; -slowest lists the N slowest cells by host
         wall-clock, each tagged with whether it forked a cached
         populate/load prefix checkpoint or simulated it cold
+  arena [-full] [-scale bytes] [-kernels a,b,c] [-policies a,b]
+        [-systems x,y] [-parallel N] [-lanes N] [-json]
+        scheduler tournament: run every registered scheduling policy
+        (or the -policies subset) x every kernel on the -systems
+        organizations (default DRAM-less) and rank them against the
+        paper's final scheduler, with mean/p99/d-p99 read latency
+        from the histogram layer; byte-identical at any -parallel
   run   -system <name> -kernel <name> [-scale bytes] [-scheduler name]
         [-trace out.json] [-hist out.json] [-series out.json] [-counters]
         [-lanes N]
@@ -110,7 +122,9 @@ commands:
         chrome://tracing), -hist exports per-instrument latency
         histograms and -series windowed time series (.csv extension
         selects CSV, anything else JSON), -counters prints the hardware
-        counters, -scheduler overrides the PRAM controller policy
+        counters, -scheduler selects any registered PRAM scheduling
+        policy by name (bare-metal, interleaving, selective-erasing,
+        final, palp, pause-aware, wear-aware, ...)
   report [-cdf instrument] <hist.json> [other-hist.json]
         render percentile tables (p50/p90/p99/p999/max) from a -hist
         export; with two files, compare them side by side; -cdf prints
@@ -146,6 +160,7 @@ func cmdExperiments(args []string) {
 	kernels := fs.String("kernels", "", "comma-separated kernel subset")
 	parallel := fs.Int("parallel", 0, "simulation worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	lanes := fs.Int("lanes", 0, "event lanes inside each simulation (0 = share cores with the pool, -1 = legacy engine)")
+	schedName := fs.String("scheduler", "", "override the DRAM-less PRAM scheduling policy for every cell (registry name)")
 	slowest := fs.Int("slowest", 0, "report the N slowest simulation cells with prefix cache hit/miss")
 	startProf := profileFlags(fs)
 	fs.Parse(args)
@@ -164,6 +179,14 @@ func cmdExperiments(args []string) {
 	}
 	o.Parallelism = *parallel
 	o.Lanes = *lanes
+	if *schedName != "" {
+		p, err := dramless.PolicyByName(*schedName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		o.Policy = p.Name()
+	}
 
 	ids := fs.Args()
 	if len(ids) == 0 {
@@ -216,10 +239,10 @@ func cmdTrace(args []string) {
 	addr := fs.Uint64("addr", 0, "target byte address")
 	n := fs.Int("n", 128, "access size in bytes")
 	write := fs.Bool("write", false, "trace a write instead of a read")
-	schedName := fs.String("scheduler", "Final", "Bare-metal | Interleaving | Selective-erasing | Final")
+	schedName := fs.String("scheduler", "final", "scheduling policy (any registry name, e.g. final, palp, pause-aware)")
 	fs.Parse(args)
 
-	sched, err := parseScheduler(*schedName)
+	sched, err := dramless.PolicyByName(*schedName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -227,7 +250,7 @@ func cmdTrace(args []string) {
 
 	pram, ready, err := dramless.NewPRAM(
 		dramless.WithCapacityRows(1<<16),
-		dramless.WithScheduler(sched))
+		dramless.WithPolicy(sched))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -246,7 +269,7 @@ func cmdTrace(args []string) {
 		os.Exit(1)
 	}
 	fmt.Printf("%s of %d B at %#x under %s: accepted after %v (drain %v)\n\n",
-		op, *n, *addr, sched, done-ready, pram.Drain()-ready)
+		op, *n, *addr, sched.Name(), done-ready, pram.Drain()-ready)
 	for ch := 0; ch < 2; ch++ {
 		for pkg := 0; pkg < 16; pkg++ {
 			cmds := pram.Trace(ch, pkg)
@@ -261,14 +284,86 @@ func cmdTrace(args []string) {
 	}
 }
 
-// parseScheduler resolves a controller policy by its display name.
-func parseScheduler(name string) (dramless.Scheduler, error) {
-	for _, s := range []dramless.Scheduler{dramless.BareMetal, dramless.Interleaving, dramless.SelectiveErasing, dramless.Final} {
-		if strings.EqualFold(s.String(), name) {
-			return s, nil
+// cmdArena runs the scheduler tournament: every registered policy (or
+// the -policies subset) x every kernel on the -systems organizations,
+// ranked against the paper's final scheduler.
+func cmdArena(args []string) {
+	fs := flag.NewFlagSet("arena", flag.ExitOnError)
+	full := fs.Bool("full", false, "paper-scale footprints (slow)")
+	asJSON := fs.Bool("json", false, "emit JSON instead of a table")
+	scale := fs.Int64("scale", 0, "override footprint scale in bytes")
+	kernels := fs.String("kernels", "", "comma-separated kernel subset")
+	parallel := fs.Int("parallel", 0, "simulation worker pool size (0 = GOMAXPROCS, 1 = serial)")
+	lanes := fs.Int("lanes", 0, "event lanes inside each simulation (0 = share cores with the pool, -1 = legacy engine)")
+	policies := fs.String("policies", "", "comma-separated policy subset (default: every registered policy)")
+	systems := fs.String("systems", "", "comma-separated organizations (default: DRAM-less)")
+	startProf := profileFlags(fs)
+	fs.Parse(args)
+	stopProf := startProf()
+	defer stopProf()
+
+	o := dramless.FastExperiments()
+	if *full {
+		o = dramless.FullExperiments()
+	}
+	if *scale > 0 {
+		o.Scale = *scale
+	}
+	if *kernels != "" {
+		o.Kernels = strings.Split(*kernels, ",")
+	}
+	o.Parallelism = *parallel
+	o.Lanes = *lanes
+
+	var pols []string
+	if *policies != "" {
+		for _, name := range strings.Split(*policies, ",") {
+			p, err := dramless.PolicyByName(strings.TrimSpace(name))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			pols = append(pols, p.Name())
 		}
 	}
-	return 0, fmt.Errorf("unknown scheduler %q", name)
+	var kinds []dramless.SystemKind
+	if *systems != "" {
+		for _, name := range strings.Split(*systems, ",") {
+			found := false
+			for _, k := range dramless.SystemKinds() {
+				if strings.EqualFold(k.String(), strings.TrimSpace(name)) {
+					kinds, found = append(kinds, k), true
+					break
+				}
+			}
+			if !found {
+				fmt.Fprintf(os.Stderr, "unknown system %q (see `dramless list`)\n", name)
+				os.Exit(2)
+			}
+		}
+	}
+
+	eng := dramless.NewExperimentEngine(o)
+	wall := time.Now()
+	tab, err := eng.Arena(pols, kinds)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		stopProf()
+		os.Exit(1)
+	}
+	if *asJSON {
+		doc, err := tab.JSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		os.Stdout.Write(doc)
+		fmt.Println()
+		return
+	}
+	tab.Print(os.Stdout)
+	fmt.Printf("engine: %s; prefixes: %s; wall %v\n",
+		eng.Stats(), eng.PrefixStats(), time.Since(wall).Round(time.Millisecond))
 }
 
 func cmdRun(args []string) {
@@ -276,7 +371,7 @@ func cmdRun(args []string) {
 	sysName := fs.String("system", "DRAM-less", "system organization (see list)")
 	kernelName := fs.String("kernel", "gemver", "workload (see list)")
 	scale := fs.Int64("scale", 256<<10, "footprint scale in bytes")
-	schedName := fs.String("scheduler", "", "override PRAM controller policy (Bare-metal | Interleaving | Selective-erasing | Final)")
+	schedName := fs.String("scheduler", "", "override PRAM controller policy (any registry name, e.g. final, palp, pause-aware)")
 	traceOut := fs.String("trace", "", "record a simulated-time timeline to this file (chrome://tracing JSON)")
 	histOut := fs.String("hist", "", "export latency histograms to this file (.csv for CSV, else JSON)")
 	seriesOut := fs.String("series", "", "export simulated-time series to this file (.csv for CSV, else JSON)")
@@ -314,10 +409,12 @@ func cmdRun(args []string) {
 	cfg.Scale = *scale
 	cfg.Accel.Lanes = *lanes
 	if *schedName != "" {
-		if cfg.Scheduler, err = parseScheduler(*schedName); err != nil {
+		p, err := dramless.PolicyByName(*schedName)
+		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
+		cfg.Policy = p.Name()
 	}
 	res, err := dramless.RunSystem(cfg, w)
 	if err != nil {

@@ -183,8 +183,41 @@ func (w observerOption) applySystem(c *system.Config) {
 func WithObserver(o *Observer) CommonOption { return observerOption{o: o} }
 
 // WithScheduler selects the controller scheduling policy (default Final).
+//
+// Deprecated: the enum reaches only the four legacy schedulers; use
+// WithPolicy with a registry policy (SchedulerPolicies lists them).
 func WithScheduler(s Scheduler) PRAMOption {
-	return pramOptionFunc(func(c *memctrl.Config) { c.Scheduler = s })
+	return pramOptionFunc(func(c *memctrl.Config) {
+		c.Scheduler = s
+		c.Policy = nil
+	})
+}
+
+// SchedulerPolicy is a pluggable controller scheduling policy: a named
+// capability vector the channel machinery resolves at construction
+// (memctrl.Policy). The four legacy Scheduler values map onto the
+// canonical registered policies; the registry also carries schedulers
+// the enum cannot name ("palp", "pause-aware", "wear-aware").
+type SchedulerPolicy = memctrl.Policy
+
+// SchedulerPolicies returns every registered scheduling policy in
+// registration order.
+func SchedulerPolicies() []SchedulerPolicy { return memctrl.Policies() }
+
+// SchedulerPolicyNames returns the registered policy names in
+// registration order.
+func SchedulerPolicyNames() []string { return memctrl.PolicyNames() }
+
+// PolicyByName resolves a scheduling policy by registry name,
+// case-insensitively; legacy enum display names ("Bare-metal", ...)
+// resolve to their canonical policies. Unknown names error with the
+// registered list.
+func PolicyByName(name string) (SchedulerPolicy, error) { return memctrl.PolicyByName(name) }
+
+// WithPolicy selects the controller scheduling policy from the registry
+// (default Final). It supersedes any WithScheduler option.
+func WithPolicy(p SchedulerPolicy) PRAMOption {
+	return pramOptionFunc(func(c *memctrl.Config) { c.Policy = p })
 }
 
 // WithCapacityRows sets rows per module (capacity = rows x 32 B x 32
@@ -407,7 +440,7 @@ var defaultEngines struct {
 // defaultEngine returns the process-wide engine for o, building it on
 // first use.
 func defaultEngine(o ExperimentOptions) *ExperimentEngine {
-	key := fmt.Sprintf("%d|%q|%d|%d", o.Scale, o.Kernels, o.Parallelism, o.Lanes)
+	key := fmt.Sprintf("%d|%q|%d|%d|%q", o.Scale, o.Kernels, o.Parallelism, o.Lanes, o.Policy)
 	defaultEngines.Lock()
 	defer defaultEngines.Unlock()
 	if defaultEngines.m == nil {

@@ -41,6 +41,12 @@ type Options struct {
 	// executor is deterministic, so rendered tables are byte-identical
 	// at any setting.
 	Lanes int
+	// Policy overrides the DRAM-less PRAM scheduling policy by registry
+	// name ("palp", "pause-aware", ...; see memctrl.PolicyNames).
+	// Empty keeps the config default (the legacy Final scheduler). The
+	// policy name is part of every cell's cache key, so engines with
+	// different policies never share results.
+	Policy string
 }
 
 // Fast returns options sized for quick benchmark runs.
@@ -68,6 +74,7 @@ func (o Options) config(kind system.Kind) system.Config {
 		cfg.SSDCapacity *= 2
 	}
 	cfg.Accel.Lanes = o.laneBudget()
+	cfg.Policy = o.Policy
 	return cfg
 }
 

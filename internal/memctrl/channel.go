@@ -12,7 +12,11 @@ import (
 // data bus shared by all packages on the channel (Figure 14), plus the
 // per-module controller state of the command generator.
 type channel struct {
-	cfg     Config
+	cfg Config
+	// pol is the configured scheduling policy flattened to booleans at
+	// construction (resolvePolicy): the hot path never calls through
+	// the Policy interface.
+	pol     resolved
 	cmdBus  *sim.Resource // CA bus: one command packet per tCK
 	dataBus *sim.Resource // shared dq[15:0]: one 32 B burst per tBURST
 	modules []*pram.Module
@@ -88,6 +92,7 @@ const (
 func newChannel(idx int, cfg Config) (*channel, error) {
 	ch := &channel{
 		cfg:         cfg,
+		pol:         resolvePolicy(cfg.policy()),
 		cmdBus:      sim.NewResource(fmt.Sprintf("ch%d.ca", idx)),
 		dataBus:     sim.NewResource(fmt.Sprintf("ch%d.dq", idx)),
 		nextBA:      make([]uint8, cfg.Params.Packages),
@@ -110,7 +115,7 @@ func newChannel(idx int, cfg Config) (*channel, error) {
 			return nil, err
 		}
 		m.ShareBus(ch.dataBus)
-		m.EnableWritePausing(cfg.WritePausing)
+		m.EnableWritePausing(cfg.WritePausing || ch.pol.pauseReads)
 		ch.modules = append(ch.modules, m)
 	}
 	if hs := cfg.Obs.Histograms(); hs != nil {
@@ -174,7 +179,7 @@ func (ch *channel) issue(at sim.Time) sim.Time {
 // gate applies the scheduling policy's ordering constraint to an
 // operation on module mod that wants to start at `at`.
 func (ch *channel) gate(at sim.Time, mod int) sim.Time {
-	if !ch.cfg.Scheduler.Interleaving() {
+	if !ch.pol.interleave {
 		return sim.Max(at, ch.modLastDone[mod])
 	}
 	return at
@@ -285,7 +290,7 @@ func (ch *channel) readRowInto(at sim.Time, mod int, rowAddr uint64, col int, ds
 // exactly as in Figure 12. Without interleaving each request runs to
 // completion before the next starts (bare-metal ordering).
 func (ch *channel) readBatch(at sim.Time, reqs []rowReq) error {
-	if !ch.cfg.Scheduler.Interleaving() {
+	if !ch.pol.interleave {
 		for i := range reqs {
 			if err := ch.readOne(&reqs[i], ch.gate(at, reqs[i].mod)); err != nil {
 				return err
@@ -301,23 +306,48 @@ func (ch *channel) readBatch(at sim.Time, reqs []rowReq) error {
 	// partition/bus timelines, so later sensing overlaps earlier bursts
 	// both across modules and across this module's own buffer pairs
 	// (Figure 12).
+	//
+	// Partition overlap (PALP): a read whose target partition still has
+	// in-flight array work (typically a posted program, 10-18us) cannot
+	// sense until the partition frees, and issuing it early pushes the
+	// shared command/DQ bus frontier past that wait for every later
+	// wave. With the PartitionOverlap capability the batch is assigned
+	// in two passes - conflict-free reads first, busy-partition reads
+	// appended to the tail waves - so the free partitions' senses and
+	// bursts overlap the busy partitions' writes instead of queuing
+	// behind them.
 	perMod := ch.cfg.Params.NumRAB - 1
 	if perMod < 1 {
 		perMod = 1
 	}
 	seen := ch.resetSeen()
 	waves, used := ch.rWaves, 0
-	for i := range reqs {
-		w := seen[reqs[i].mod] / perMod
-		seen[reqs[i].mod]++
-		for used <= w {
-			if used == len(waves) {
-				waves = append(waves, nil)
+	deferring := ch.pol.partitionOverlap
+	for pass := 0; pass < 2; pass++ {
+		for i := range reqs {
+			if deferring {
+				busy := ch.partitionBusy(at, reqs[i].mod, reqs[i].row)
+				if busy != (pass == 1) {
+					continue
+				}
+				if busy {
+					ch.stats.PartitionOverlapWins++
+				}
 			}
-			waves[used] = waves[used][:0]
-			used++
+			w := seen[reqs[i].mod] / perMod
+			seen[reqs[i].mod]++
+			for used <= w {
+				if used == len(waves) {
+					waves = append(waves, nil)
+				}
+				waves[used] = waves[used][:0]
+				used++
+			}
+			waves[w] = append(waves[w], &reqs[i])
 		}
-		waves[w] = append(waves[w], &reqs[i])
+		if !deferring {
+			break
+		}
 	}
 	ch.rWaves = waves
 	for _, wave := range waves[:used] {
@@ -326,6 +356,15 @@ func (ch *channel) readBatch(at sim.Time, reqs []rowReq) error {
 		}
 	}
 	return nil
+}
+
+// partitionBusy reports whether the partition holding module-local row
+// rowAddr on module mod still has in-flight array work at `at` (an
+// outstanding program, or a sense that has not settled). It reads the
+// device's partition frontier, so the answer is exact for the
+// simulated device state at assignment time.
+func (ch *channel) partitionBusy(at sim.Time, mod int, rowAddr uint64) bool {
+	return ch.modules[mod].PartitionFreeAt(ch.cfg.Geometry.PartitionOf(rowAddr)) > at
 }
 
 // resetSeen returns the per-module wave counter scratch, zeroed.
@@ -350,13 +389,16 @@ func (ch *channel) readOne(r *rowReq, at sim.Time) error {
 	}
 	ch.stats.Reads++
 	ch.stats.BytesRead += int64(len(r.dst))
+	if out == outPaused {
+		ch.stats.PausePreemptedReads++
+	}
 	if ch.hRead[outFull] != nil {
 		ch.recordRead(out, at, r.done, len(r.dst))
 	}
 	if ch.tr != nil {
 		ch.tr.Span(ch.proc, ch.tracks[r.mod], "read", at, r.done)
 	}
-	if ch.cfg.Prefetch && ch.cfg.Scheduler.Interleaving() {
+	if ch.cfg.Prefetch && ch.pol.interleave {
 		ch.prefetch(rowReady, r.mod, r.row+1)
 	}
 	return nil
@@ -426,6 +468,7 @@ func (ch *channel) readWave(at sim.Time, wave []*rowReq) error {
 		}
 		if m.Pauses() != p0 {
 			r.out = outPaused
+			ch.stats.PausePreemptedReads++
 		}
 		r.rowReady = done
 	}
@@ -470,6 +513,16 @@ func (ch *channel) prefetch(at sim.Time, mod int, rowAddr uint64) {
 		return
 	}
 	if _, ok := m.RDBHit(rowAddr); ok {
+		return
+	}
+	// Partition-aware policies never prefetch into a busy partition: a
+	// speculative sense behind an in-flight program would extend the
+	// partition frontier (PALP) or pause a real program for data nobody
+	// asked for (pause-aware).
+	if ch.pol.avoidBusyPrefetch && ch.partitionBusy(at, mod, rowAddr) {
+		if ch.pol.partitionOverlap {
+			ch.stats.PartitionOverlapWins++
+		}
 		return
 	}
 	upper, lower := ch.cfg.Geometry.SplitRow(rowAddr)
@@ -538,7 +591,7 @@ func (ch *channel) writeRow(at sim.Time, mod int, rowAddr uint64, col int, data 
 		ch.tr.Span(ch.proc, ch.tracks[mod], "program", at, done)
 	}
 
-	if !ch.cfg.Scheduler.Interleaving() {
+	if !ch.pol.interleave {
 		// Bare-metal and selective-erasing do not overlap the chip's next
 		// operation with this program flow's bus activity, but the array
 		// program itself is posted on every policy (the program buffer
@@ -564,7 +617,7 @@ type writeReq struct {
 // packages pipeline on the shared channel buses; without interleaving
 // each flow runs to completion before the next starts.
 func (ch *channel) writeBatch(at sim.Time, reqs []writeReq) error {
-	if !ch.cfg.Scheduler.Interleaving() {
+	if !ch.pol.interleave {
 		for i := range reqs {
 			d, err := ch.writeRow(at, reqs[i].mod, reqs[i].row, 0, reqs[i].data)
 			if err != nil {
@@ -656,7 +709,7 @@ func (ch *channel) writeWave(at sim.Time, wave []*writeReq) error {
 //     since the previous program sufficed and nothing sensed the row in
 //     between.
 func (ch *channel) maybePreErase(at sim.Time, mod int, rowAddr uint64) {
-	if !ch.cfg.Scheduler.SelectiveErasing() || ch.intent == nil {
+	if !ch.pol.selErase || ch.intent == nil {
 		return
 	}
 	declared, ok := ch.intent(mod, rowAddr)
@@ -691,7 +744,7 @@ func (ch *channel) preEraseRow(at sim.Time, mod int, rowAddr uint64) (done sim.T
 		return 0, err
 	}
 	ch.stats.PreErasedRows++
-	if !ch.cfg.Scheduler.Interleaving() {
+	if !ch.pol.interleave {
 		ch.complete(done, mod)
 	}
 	return done, nil

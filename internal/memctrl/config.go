@@ -19,6 +19,13 @@ import (
 
 // Scheduler selects the request scheduling policy of the controller,
 // matching the four configurations of Figure 13.
+//
+// Deprecated: the enum remains as a compatibility shim over the policy
+// registry — each value adapts onto its canonical registered Policy
+// (see PolicyFor). New code should set Config.Policy (or a policy name
+// at the system/experiments layer) instead; the registry also carries
+// schedulers the enum cannot name ("palp", "pause-aware",
+// "wear-aware").
 type Scheduler int
 
 const (
@@ -69,8 +76,19 @@ type Config struct {
 	Params lpddr.Params
 	// Geometry is the per-module address layout.
 	Geometry pram.Geometry
-	// Scheduler is the request scheduling policy.
+	// Scheduler is the legacy request scheduling policy selector.
+	// Ignored when Policy is non-nil.
+	//
+	// Deprecated: set Policy instead; the enum only reaches the four
+	// legacy schedulers.
 	Scheduler Scheduler
+	// Policy is the scheduling policy. Nil (the default) derives the
+	// policy from the legacy Scheduler enum, so existing
+	// DefaultConfig(s Scheduler) call sites behave exactly as before.
+	// The policy's capability vector is resolved once at construction
+	// (see resolvePolicy); per-request scheduling decisions stay
+	// allocation-free.
+	Policy Policy
 	// PhaseSkipping enables skipping pre-active/activate phases when the
 	// target's upper row address or row data is already buffered. On by
 	// default; an ablation knob for the benchmarks.
@@ -97,7 +115,9 @@ type Config struct {
 }
 
 // DefaultConfig returns the paper's DRAM-less controller configuration
-// with the given scheduler.
+// with the given legacy scheduler. To select a registry policy
+// instead, set Policy on the returned Config (or use
+// DefaultPolicyConfig).
 func DefaultConfig(s Scheduler) Config {
 	return Config{
 		Params:              lpddr.Default(),
@@ -109,6 +129,13 @@ func DefaultConfig(s Scheduler) Config {
 	}
 }
 
+// DefaultPolicyConfig is DefaultConfig for a registry policy.
+func DefaultPolicyConfig(p Policy) Config {
+	cfg := DefaultConfig(Noop)
+	cfg.Policy = p
+	return cfg
+}
+
 // Validate reports configuration errors.
 func (c Config) Validate() error {
 	if err := c.Params.Validate(); err != nil {
@@ -117,8 +144,12 @@ func (c Config) Validate() error {
 	if err := c.Geometry.Validate(); err != nil {
 		return err
 	}
-	if c.Scheduler < Noop || c.Scheduler > Final {
-		return fmt.Errorf("memctrl: unknown scheduler %d", c.Scheduler)
+	if c.Policy == nil {
+		if c.Scheduler < Noop || c.Scheduler > Final {
+			return fmt.Errorf("memctrl: unknown scheduler %d", c.Scheduler)
+		}
+	} else if err := c.Policy.Capabilities().Validate(); err != nil {
+		return fmt.Errorf("memctrl: policy %q: %w", c.Policy.Name(), err)
 	}
 	perBank := c.Geometry.RowBytes
 	if c.ChannelRequestBytes <= 0 || c.ChannelRequestBytes%perBank != 0 {
@@ -151,6 +182,19 @@ type Stats struct {
 	InterleaveOverlaps int64
 
 	PreErasedRows int64 // rows zero-programmed by selective erasing
-	BytesRead     int64
-	BytesWritten  int64
+
+	// PartitionOverlapWins counts the partition-overlap (PALP) policy's
+	// scheduling decisions: demand reads steered to the tail of their
+	// batch because their target partition still had in-flight array
+	// work, plus prefetches withheld for the same reason. Structurally
+	// zero without the PartitionOverlap capability.
+	PartitionOverlapWins int64
+
+	// PausePreemptedReads counts demand reads whose activate paused an
+	// in-flight program (write pausing). Nonzero under the pause-aware
+	// policy or an explicit WritePausing config.
+	PausePreemptedReads int64
+
+	BytesRead    int64
+	BytesWritten int64
 }

@@ -17,7 +17,10 @@ import (
 // then across channels, so a 1 KiB request touches every module once
 // (the paper's "512 bytes per channel, 32 bytes per bank").
 type Subsystem struct {
-	cfg      Config
+	cfg Config
+	// pol is the scheduling policy flattened at construction; see
+	// channel.pol.
+	pol      resolved
 	channels []*channel
 
 	rowBytes uint64
@@ -76,8 +79,15 @@ func New(cfg Config) (*Subsystem, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	pol := resolvePolicy(cfg.policy())
+	if pol.wearIdleMoves && !cfg.Wear.Enabled {
+		// A wear-aware policy is self-contained: it brings start-gap
+		// leveling along when the config leaves it off.
+		cfg.Wear = DefaultWear()
+	}
 	s := &Subsystem{
 		cfg:      cfg,
+		pol:      pol,
 		rowBytes: uint64(cfg.Geometry.RowBytes),
 		pkgs:     uint64(cfg.Params.Packages),
 		chans:    uint64(cfg.Params.Channels),
@@ -372,7 +382,7 @@ func (s *Subsystem) Write(at sim.Time, addr uint64, data []byte) (done sim.Time,
 // SET pulses. A no-op unless the scheduler enables selective erasing,
 // letting callers declare intent unconditionally.
 func (s *Subsystem) PreErase(at sim.Time, addr uint64, n int) (done sim.Time, err error) {
-	if !s.cfg.Scheduler.SelectiveErasing() {
+	if !s.pol.selErase {
 		return at, nil
 	}
 	if err := s.checkRange(addr, n); err != nil {
@@ -435,11 +445,17 @@ func (s *Subsystem) Stats() Stats {
 		out.Prefetches += ch.stats.Prefetches
 		out.InterleaveOverlaps += ch.stats.InterleaveOverlaps
 		out.PreErasedRows += ch.stats.PreErasedRows
+		out.PartitionOverlapWins += ch.stats.PartitionOverlapWins
+		out.PausePreemptedReads += ch.stats.PausePreemptedReads
 		out.BytesRead += ch.stats.BytesRead
 		out.BytesWritten += ch.stats.BytesWritten
 	}
 	return out
 }
+
+// Policy returns the name of the scheduling policy the subsystem was
+// built with.
+func (s *Subsystem) Policy() string { return s.pol.name }
 
 // ModuleStats sums device-level counters over all modules.
 func (s *Subsystem) ModuleStats() pram.Stats {
@@ -485,6 +501,8 @@ func (s *Subsystem) CountersInto(c *obs.Counters) {
 		c.Add(p+"prefetches", st.Prefetches)
 		c.Add(p+"interleave_overlaps", st.InterleaveOverlaps)
 		c.Add(p+"pre_erased_rows", st.PreErasedRows)
+		c.Add(p+"partition_overlap_won", st.PartitionOverlapWins)
+		c.Add(p+"pause_preempted_reads", st.PausePreemptedReads)
 		c.Add(p+"bytes_read", st.BytesRead)
 		c.Add(p+"bytes_written", st.BytesWritten)
 	}
@@ -497,6 +515,8 @@ func (s *Subsystem) CountersInto(c *obs.Counters) {
 	c.Add("memctrl.prefetches", st.Prefetches)
 	c.Add("memctrl.interleave_overlaps", st.InterleaveOverlaps)
 	c.Add("memctrl.pre_erased_rows", st.PreErasedRows)
+	c.Add("memctrl.partition_overlap_won", st.PartitionOverlapWins)
+	c.Add("memctrl.pause_preempted_reads", st.PausePreemptedReads)
 	c.Add("memctrl.bytes_read", st.BytesRead)
 	c.Add("memctrl.bytes_written", st.BytesWritten)
 	if binds := st.PreactiveSkips + st.ActivateSkips + st.FullAccesses; binds > 0 {

@@ -175,7 +175,15 @@ func (s *Subsystem) noteProgram(at sim.Time, paddr uint64) (sim.Time, error) {
 	base := region * w.regionRows
 	src := base + w.gap[region] - 1
 	dst := base + w.gap[region]
-	// The copy is real traffic through the regular channel paths.
+	// The copy is real traffic through the regular channel paths. A
+	// wear-aware policy defers it to the subsystem's idle window - after
+	// every posted program and bus transfer settles - so leveling never
+	// contends with the foreground request that triggered it (and never
+	// pushes the shared bus frontiers into the in-flight programs'
+	// shadow; see readBatch on partition overlap).
+	if s.pol.wearIdleMoves {
+		at = sim.Max(at, s.Drain())
+	}
 	data, d, err := s.readPhysicalRow(at, src)
 	if err != nil {
 		return 0, err

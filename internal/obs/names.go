@@ -91,10 +91,12 @@ func init() {
 		"memctrl.chN.reads", "memctrl.chN.writes", "memctrl.chN.rab_hits",
 		"memctrl.chN.rdb_hits", "memctrl.chN.full_accesses", "memctrl.chN.prefetches",
 		"memctrl.chN.interleave_overlaps", "memctrl.chN.pre_erased_rows",
+		"memctrl.chN.partition_overlap_won", "memctrl.chN.pause_preempted_reads",
 		"memctrl.chN.bytes_read", "memctrl.chN.bytes_written",
 		"memctrl.reads", "memctrl.writes", "memctrl.rab_hits", "memctrl.rdb_hits",
 		"memctrl.full_accesses", "memctrl.prefetches", "memctrl.interleave_overlaps",
-		"memctrl.pre_erased_rows", "memctrl.bytes_read", "memctrl.bytes_written",
+		"memctrl.pre_erased_rows", "memctrl.partition_overlap_won",
+		"memctrl.pause_preempted_reads", "memctrl.bytes_read", "memctrl.bytes_written",
 		"memctrl.rab_hit_rate", "memctrl.rdb_hit_rate", "memctrl.bus_busy_ps",
 		"memctrl.wear.gap_moves", "memctrl.wear.max_wear",
 		"pram.preactives", "pram.activates", "pram.window_activates",

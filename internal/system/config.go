@@ -165,7 +165,18 @@ type Config struct {
 	// PRAMRowsPerModule sizes the PRAM subsystem (simulation knob).
 	PRAMRowsPerModule uint64
 	// Scheduler is the PRAM controller policy for DRAM-less builds.
+	// Ignored when Policy is set.
+	//
+	// Deprecated: the enum reaches only the four legacy schedulers;
+	// Policy selects from the full registry.
 	Scheduler memctrl.Scheduler
+	// Policy selects the PRAM controller scheduling policy by registry
+	// name ("final", "palp", "pause-aware", ...; see
+	// memctrl.PolicyNames). Empty derives the policy from the legacy
+	// Scheduler field. It is a string, not a memctrl.Policy, so Config
+	// stays comparable (it is the experiment engine's cache key, and
+	// the policy name is part of a cell's identity).
+	Policy string
 	// Wear enables start-gap wear leveling in DRAM-less builds
 	// (Section VII extension).
 	Wear memctrl.WearConfig
@@ -233,7 +244,26 @@ func (c Config) Validate() error {
 	if err := c.Link.Validate(); err != nil {
 		return err
 	}
+	if c.Policy != "" {
+		if _, err := memctrl.PolicyByName(c.Policy); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// schedulerPolicy resolves the DRAM-less controller policy: the Policy
+// registry name when set, else the legacy Scheduler enum's canonical
+// policy. Out-of-range enum values error exactly as memctrl's own
+// validation used to report them.
+func (c Config) schedulerPolicy() (memctrl.Policy, error) {
+	if c.Policy != "" {
+		return memctrl.PolicyByName(c.Policy)
+	}
+	if p := memctrl.PolicyFor(c.Scheduler); p != nil {
+		return p, nil
+	}
+	return nil, fmt.Errorf("memctrl: unknown scheduler %d", c.Scheduler)
 }
 
 // bufferBytes resolves the internal-DRAM buffer size.

@@ -43,6 +43,22 @@ func PrefixOf(cfg Config, k workload.Kernel) Prefix {
 	// does not run kernels at all — every lane setting shares one
 	// checkpoint.
 	norm.Accel.Lanes = 0
+	// Scheduler policy: only the DRAM-less kind reads the
+	// Scheduler/Policy pair (the firmware-managed build forces
+	// bare-metal, every other kind has no PRAM controller), and a legacy
+	// enum value builds the identical controller as its canonical
+	// registry policy — both spellings share one checkpoint. The policy
+	// does shape the prefix itself for DRAM-less (the load phase's
+	// PreErase intent declaration), so the canonical name stays in the
+	// key there.
+	if norm.Kind == DRAMLess {
+		if p, err := norm.schedulerPolicy(); err == nil {
+			norm.Policy = p.Name()
+		}
+	} else {
+		norm.Policy = ""
+	}
+	norm.Scheduler = 0
 	return Prefix{
 		Cfg:    norm,
 		In:     k.InputBytes(p),

@@ -241,8 +241,8 @@ func newBuild(cfg Config) (*build, error) {
 	}
 	b.p2p = pcie.NewP2P(b.ssdLink, b.accLink)
 
-	mkSub := func(s memctrl.Scheduler) (*memctrl.Subsystem, error) {
-		mcCfg := memctrl.DefaultConfig(s)
+	mkSub := func(p memctrl.Policy) (*memctrl.Subsystem, error) {
+		mcCfg := memctrl.DefaultPolicyConfig(p)
 		mcCfg.Geometry.RowsPerModule = cfg.PRAMRowsPerModule
 		mcCfg.Wear = cfg.Wear
 		mcCfg.Obs = cfg.Obs
@@ -297,14 +297,18 @@ func newBuild(cfg Config) (*build, error) {
 		}
 		b.backend = b.intSSD
 	case DRAMLess:
-		if b.sub, err = mkSub(cfg.Scheduler); err != nil {
+		pol, perr := cfg.schedulerPolicy()
+		if perr != nil {
+			return nil, perr
+		}
+		if b.sub, err = mkSub(pol); err != nil {
 			return nil, err
 		}
 		b.backend = b.sub
 	case DRAMLessFirmware:
 		// Same PRAM subsystem, but every request is dispatched by
 		// traditional SSD firmware and the hardware schedulers are gone.
-		if b.sub, err = mkSub(memctrl.Noop); err != nil {
+		if b.sub, err = mkSub(memctrl.PolicyFor(memctrl.Noop)); err != nil {
 			return nil, err
 		}
 		if b.fwWrap, err = ssd.NewFirmwareManaged(cfg.Firmware, b.sub); err != nil {
