@@ -27,11 +27,13 @@ race-experiments:
 # Focused race pass on the event kernel and the windowed lane executor:
 # lane workers publish frontiers through atomics and hand heads back to
 # the coordinator over channels, so the lane tests (including the
-# cross-engine equivalence suite, which runs four lane goroutines per
-# simulation) stay under the race detector even if the full-module sweep
+# cross-engine equivalence suites — kernel lanes, RunJobs wave lanes and
+# the laned load/store phases, each running four lane goroutines per
+# simulation — plus the AccessPrivate classifier oracles backing tail
+# absorption) stay under the race detector even if the full-module sweep
 # is ever trimmed (see DESIGN.md §13).
 race-sim:
-	$(GO) test -race -count 1 ./internal/sim/... ./internal/accel/...
+	$(GO) test -race -count 1 ./internal/sim/... ./internal/accel/... ./internal/cache/...
 	$(GO) test -race -count 1 -run 'Laned' ./internal/system/...
 
 # Full benchmark sweep; BenchmarkAllExperiments is the top-level number

@@ -229,7 +229,13 @@ func cmdExperiments(args []string) {
 			if ct.PrefixHit {
 				tag = "prefix-fork"
 			}
-			fmt.Printf("  %-10v %-22s %-8s %s\n", ct.Wall.Round(time.Microsecond), ct.Kind, ct.Kernel, tag)
+			// Laned cells append their kernel-phase fold coverage: the
+			// share of dispatched events lane tails absorbed inline.
+			fold := ""
+			if ct.LaneEvents > 0 {
+				fold = fmt.Sprintf("  fold %4.1f%%", 100*float64(ct.LaneFolded)/float64(ct.LaneEvents))
+			}
+			fmt.Printf("  %-10v %-22s %-8s %s%s\n", ct.Wall.Round(time.Microsecond), ct.Kind, ct.Kernel, tag, fold)
 		}
 	}
 }

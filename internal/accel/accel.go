@@ -109,6 +109,16 @@ type Accelerator struct {
 	events         int64
 	eventsRecycled int64
 	queueWait      sim.Duration
+
+	// Lane-executor totals of the RunJobs waves that ran laned
+	// (jobLaneWorkers > 0 once any wave did). Wave lane stats are
+	// per-wave, not per-job — disjoint jobs interleave in one wave —
+	// so they accumulate on the device and export as sim.lane.jobs.*.
+	jobLaneEvents  int64
+	jobLaneFolded  int64
+	jobLaneWindows int64
+	jobLaneStalls  int64
+	jobLaneWorkers int
 }
 
 // mcuFetchBytes is the server's aggregated request size: "512 bytes per
@@ -298,12 +308,15 @@ type Report struct {
 	EventsRecycled int64
 	// Lane-executor statistics, populated only when the lane kernel ran
 	// (Config.Lanes > 0 and no legacy fallback): per-lane event shares,
-	// lookahead windows crossed and cross-lane barrier stalls. All are
-	// deterministic functions of the simulation — identical at every
-	// worker count — so they export as counters (sim.lane.*).
+	// heads absorbed inline by tails (fold coverage), lookahead windows
+	// crossed, cross-lane barrier stalls and per-lane parked windows.
+	// All are deterministic functions of the simulation — identical at
+	// every worker count — so they export as counters (sim.lane.*).
 	LaneEvents        []int64
+	LaneFolded        int64
 	LaneWindows       int64
 	LaneBarrierStalls int64
+	LaneParkedWindows []int64
 	LaneWorkers       int
 }
 
@@ -335,8 +348,15 @@ func (r *Report) CountersInto(c *obs.Counters) {
 		for i, n := range r.LaneEvents {
 			c.Add(fmt.Sprintf("sim.lane.pe%d.events", i), n)
 		}
+		for i, n := range r.LaneParkedWindows {
+			c.Add(fmt.Sprintf("sim.lane.pe%d.parked_windows", i), n)
+		}
 		c.Add("sim.lane.windows", r.LaneWindows)
 		c.Add("sim.lane.barrier_stalls", r.LaneBarrierStalls)
+		c.Add("sim.lane.folded_events", r.LaneFolded)
+		if r.Events > 0 {
+			c.SetGauge("sim.lane.fold_ratio", float64(r.LaneFolded)/float64(r.Events))
+		}
 	}
 }
 
@@ -353,6 +373,12 @@ func (a *Accelerator) CountersInto(c *obs.Counters) {
 	c.Add("accel.mcu_busy_ps", int64(a.mcu.BusyTime()))
 	c.Add("accel.events_dispatched", a.events)
 	c.Add("accel.events_recycled", a.eventsRecycled)
+	if a.jobLaneWorkers > 0 {
+		c.Add("sim.lane.jobs.events", a.jobLaneEvents)
+		c.Add("sim.lane.jobs.folded_events", a.jobLaneFolded)
+		c.Add("sim.lane.jobs.windows", a.jobLaneWindows)
+		c.Add("sim.lane.jobs.barrier_stalls", a.jobLaneStalls)
+	}
 }
 
 // TotalIPC returns aggregate retired instructions per core cycle across
@@ -551,8 +577,10 @@ func (a *Accelerator) RunKernel(start sim.Time, k workload.Kernel, p workload.Pa
 		}
 		rep.Events = st.Events
 		rep.LaneEvents = st.LaneEvents
+		rep.LaneFolded = st.Folded
 		rep.LaneWindows = st.Windows
 		rep.LaneBarrierStalls = st.BarrierStalls
+		rep.LaneParkedWindows = st.LaneParkedWindows
 		rep.LaneWorkers = st.Workers
 	} else {
 		processed, recycled, err := runAll(pes)

@@ -62,6 +62,12 @@ type CellTiming struct {
 	Kernel    string
 	Wall      time.Duration
 	PrefixHit bool // the cell forked an already-captured checkpoint
+	// Lane fold coverage of the cell's kernel and storage phases:
+	// total dispatched events and the share absorbed inline by lane
+	// tails. Zero events means the cell ran the legacy serial engine
+	// (no lane stats).
+	LaneEvents int64
+	LaneFolded int64
 }
 
 // NewEngine builds an engine for one experiment invocation. Experiments
@@ -100,13 +106,25 @@ func NewEngine(o Options) *Engine {
 		if res.Report != nil {
 			e.events.Add(res.Report.Events)
 		}
-		e.mu.Lock()
-		e.timings = append(e.timings, CellTiming{
+		ct := CellTiming{
 			Kind:      k.cfg.Kind,
 			Kernel:    k.kernel,
 			Wall:      time.Since(start),
 			PrefixHit: hit,
-		})
+		}
+		if res.Report != nil && res.Report.LaneWorkers > 0 {
+			ct.LaneEvents = res.Report.Events
+			ct.LaneFolded = res.Report.LaneFolded
+		}
+		// Storage-phase lanes fold dependent drain ops the kernel
+		// report never sees; forked cells only ever have the store
+		// side (the load phase lives in the shared prefix).
+		for _, ph := range []string{"sim.lane.load.", "sim.lane.store."} {
+			ct.LaneEvents += res.Counters.Get(ph + "events")
+			ct.LaneFolded += res.Counters.Get(ph + "folded_events")
+		}
+		e.mu.Lock()
+		e.timings = append(e.timings, ct)
 		e.mu.Unlock()
 		return res, nil
 	})

@@ -118,8 +118,11 @@ type PE struct {
 
 	// classify reports whether an access would be serviced entirely by
 	// the core-private cache hierarchy (cache.AccessPrivate), letting
-	// TailRun absorb fold-stopping private heads inline. Nil (unbatched
-	// builds, or a memory without the probe) parks at every fold stop.
+	// TailRun absorb fold-stopping private heads inline — including
+	// line-spanning accesses the run fast paths refuse, which the
+	// classifier probes per set with an epoch-stamped occupancy scratch.
+	// Nil (unbatched builds, or a memory without the probe) parks at
+	// every fold stop.
 	classify func(addr uint64, n int) bool
 }
 

@@ -56,12 +56,20 @@ type LaneStats struct {
 	Events int64
 	// LaneEvents is the per-lane share of Events.
 	LaneEvents []int64
+	// Folded counts the heads absorbed inline by tails — the share of
+	// Events that never cost a coordinator dispatch. Folded/Events is
+	// the fold-coverage ratio the private-access classifier drives up.
+	Folded int64
 	// Windows counts distinct lookahead-horizon buckets the
 	// (non-decreasing) dispatch-time sequence visited.
 	Windows int64
 	// BarrierStalls counts cross-lane head handoffs within one horizon
 	// — dispatches a fixed-barrier executor would have serialized on.
 	BarrierStalls int64
+	// LaneParkedWindows[i] counts the distinct horizon buckets in which
+	// lane i parked and took a coordinated head dispatch — the windows
+	// the lane could not cross on fold coverage alone.
+	LaneParkedWindows []int64
 	// Workers is the effective tail-goroutine bound (1 = serial).
 	Workers int
 }
@@ -77,6 +85,21 @@ type dispatchMeter struct {
 	lastT    Time
 	windows  int64
 	stalls   int64
+	// Per-lane parked-window accounting: the bucket of each lane's
+	// previous dispatch (laneSeen gates the first), counted into
+	// laneParked on every new bucket the lane parks in.
+	laneBucket []int64
+	laneSeen   []bool
+	laneParked []int64
+}
+
+func newDispatchMeter(horizon Duration, lanes int) dispatchMeter {
+	return dispatchMeter{
+		horizon:    horizon,
+		laneBucket: make([]int64, lanes),
+		laneSeen:   make([]bool, lanes),
+		laneParked: make([]int64, lanes),
+	}
 }
 
 func (m *dispatchMeter) note(lane int, t Time) {
@@ -84,6 +107,11 @@ func (m *dispatchMeter) note(lane int, t Time) {
 		return
 	}
 	b := int64(t) / int64(m.horizon)
+	if !m.laneSeen[lane] || m.laneBucket[lane] != b {
+		m.laneSeen[lane] = true
+		m.laneBucket[lane] = b
+		m.laneParked[lane]++
+	}
 	if !m.started {
 		m.started = true
 		m.windows = 1
@@ -124,7 +152,7 @@ func RunLanes(lanes []LaneModel, workers int, horizon Duration) (LaneStats, erro
 // dispatch order with tails executed inline.
 func runLanesSerial(lanes []LaneModel, horizon Duration) (LaneStats, error) {
 	st := LaneStats{Workers: 1, LaneEvents: make([]int64, len(lanes))}
-	m := dispatchMeter{horizon: horizon}
+	m := newDispatchMeter(horizon, len(lanes))
 	active := make([]int, len(lanes))
 	for i := range lanes {
 		active[i] = i
@@ -153,12 +181,14 @@ func runLanesSerial(lanes []LaneModel, horizon Duration) (LaneStats, error) {
 		}
 		extra, err := lanes[id].TailRun(nil)
 		st.Events += extra
+		st.Folded += extra
 		st.LaneEvents[id] += extra
 		if err != nil {
 			return st, err
 		}
 	}
 	st.Windows, st.BarrierStalls = m.windows, m.stalls
+	st.LaneParkedWindows = m.laneParked
 	return st, nil
 }
 
@@ -172,7 +202,7 @@ const (
 func runLanesParallel(lanes []LaneModel, workers int, horizon Duration) (LaneStats, error) {
 	n := len(lanes)
 	st := LaneStats{Workers: workers, LaneEvents: make([]int64, n)}
-	m := dispatchMeter{horizon: horizon}
+	m := newDispatchMeter(horizon, n)
 
 	type parkMsg struct {
 		lane  int
@@ -204,6 +234,7 @@ func runLanesParallel(lanes []LaneModel, workers int, horizon Duration) (LaneSta
 
 	absorb := func(msg parkMsg) {
 		st.Events += msg.extra
+		st.Folded += msg.extra
 		st.LaneEvents[msg.lane] += msg.extra
 	}
 
@@ -275,5 +306,6 @@ func runLanesParallel(lanes []LaneModel, workers int, horizon Duration) (LaneSta
 		}
 	}
 	st.Windows, st.BarrierStalls = m.windows, m.stalls
+	st.LaneParkedWindows = m.laneParked
 	return st, firstErr
 }

@@ -117,6 +117,18 @@ func TestRunLanesSerialInvariants(t *testing.T) {
 	if st.Windows <= 0 || st.Workers != 1 {
 		t.Fatalf("stats = %+v, want positive windows and workers=1", st)
 	}
+	// Folded is the tail-absorbed share: everything that was not a
+	// coordinator dispatch. Heads dispatched = dispatch-log length.
+	if want := st.Events - int64(len(log.lanes)); st.Folded != want {
+		t.Fatalf("folded = %d, want %d (events %d - %d dispatches)", st.Folded, want, st.Events, len(log.lanes))
+	}
+	var parked int64
+	for _, n := range st.LaneParkedWindows {
+		parked += n
+	}
+	if len(st.LaneParkedWindows) != len(lanes) || parked <= 0 {
+		t.Fatalf("lane parked windows = %v, want %d positive entries", st.LaneParkedWindows, len(lanes))
+	}
 }
 
 // TestRunLanesParallelMatchesSerial is the executor's determinism gate:
@@ -137,12 +149,16 @@ func TestRunLanesParallelMatchesSerial(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if st.Events != ref.Events || st.Windows != ref.Windows || st.BarrierStalls != ref.BarrierStalls {
+			if st.Events != ref.Events || st.Folded != ref.Folded ||
+				st.Windows != ref.Windows || st.BarrierStalls != ref.BarrierStalls {
 				t.Fatalf("workers=%d rep=%d: stats %+v, want %+v", workers, rep, st, ref)
 			}
 			for i := range ref.LaneEvents {
 				if st.LaneEvents[i] != ref.LaneEvents[i] {
 					t.Fatalf("workers=%d: lane %d events = %d, want %d", workers, i, st.LaneEvents[i], ref.LaneEvents[i])
+				}
+				if st.LaneParkedWindows[i] != ref.LaneParkedWindows[i] {
+					t.Fatalf("workers=%d: lane %d parked windows = %d, want %d", workers, i, st.LaneParkedWindows[i], ref.LaneParkedWindows[i])
 				}
 			}
 			if len(log.lanes) != len(refLog.lanes) {

@@ -82,6 +82,7 @@ func TestLanedMatchesSerial(t *testing.T) {
 					// them. Only the lane statistics fields are its own.
 					lr, sr := *laned.Report, *serial.Report
 					lr.LaneEvents, lr.LaneWindows, lr.LaneBarrierStalls, lr.LaneWorkers = nil, 0, 0, 0
+					lr.LaneFolded, lr.LaneParkedWindows = 0, nil
 					if !reflect.DeepEqual(lr, sr) {
 						t.Errorf("lanes=%d: kernel report differs:\n  laned:  %+v\n  serial: %+v", lanes, lr, sr)
 					}
@@ -98,13 +99,38 @@ func TestLanedMatchesSerial(t *testing.T) {
 					}
 				}
 
-				// Lane statistics are worker-count-invariant.
+				// Lane statistics are worker-count-invariant — including the
+				// fold-coverage stats and the full sim.lane.* counter set
+				// (which covers the load/store phase lanes and, indirectly,
+				// the fold ratio gauge).
 				one, four := run(1), run(4)
 				if one.Report.LaneWindows != four.Report.LaneWindows ||
 					one.Report.LaneBarrierStalls != four.Report.LaneBarrierStalls ||
-					!reflect.DeepEqual(one.Report.LaneEvents, four.Report.LaneEvents) {
+					one.Report.LaneFolded != four.Report.LaneFolded ||
+					!reflect.DeepEqual(one.Report.LaneEvents, four.Report.LaneEvents) ||
+					!reflect.DeepEqual(one.Report.LaneParkedWindows, four.Report.LaneParkedWindows) {
 					t.Errorf("lane stats depend on worker count:\n  lanes=1: %+v\n  lanes=4: %+v",
 						one.Report, four.Report)
+				}
+				oe, fe := one.Counters.Entries(), four.Counters.Entries()
+				if len(oe) != len(fe) {
+					t.Fatalf("laned counter registries differ in size: lanes=1 %d != lanes=4 %d", len(oe), len(fe))
+				}
+				for i := range oe {
+					if oe[i] != fe[i] {
+						t.Errorf("counter %q differs across worker counts: lanes=1 %+v != lanes=4 %+v",
+							oe[i].Name, oe[i], fe[i])
+					}
+				}
+
+				// Fold coverage: kinds whose store phase runs as a lane
+				// absorb every op after the first head inline, so the laned
+				// run must report folded storage-phase events the serial
+				// engine never could (it has no fold path at all).
+				if four.Counters.Has("sim.lane.store.events") {
+					if v := four.Counters.Get("sim.lane.store.folded_events"); v <= 0 {
+						t.Errorf("sim.lane.store.folded_events = %d, want > 0", v)
+					}
 				}
 
 				// Exports are byte-identical across engines: rebuild the
@@ -138,6 +164,105 @@ func TestLanedMatchesSerial(t *testing.T) {
 					if !bytes.Equal(ls, ss) {
 						t.Errorf("lanes=%d: series CSV export is not byte-identical to serial", lanes)
 					}
+				}
+			})
+		}
+	}
+}
+
+// TestLanedForkedMatchesCold crosses the two execution layers: a laned
+// run forked from a captured populate/load checkpoint must reproduce the
+// cold laned run exactly. Forked runs replay the load phase from
+// checkpoint samples instead of executing it, so the load-phase lane
+// counters (sim.lane.load.*) exist only on the cold side — they are
+// filtered like the other engine-origin counters, everything else must
+// match byte for byte.
+func TestLanedForkedMatchesCold(t *testing.T) {
+	for _, kind := range Kinds() {
+		for _, kname := range equivKernels {
+			t.Run(kind.String()+"/"+kname, func(t *testing.T) {
+				k := workload.MustByName(kname)
+
+				cfg := testConfig(kind)
+				cfg.Scale = 128 << 10
+				cfg.Accel.Lanes = 4
+				cfg.Obs = obs.New()
+				cold, err := Run(cfg, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				fcfg := cfg
+				fcfg.Obs = obs.New()
+				cp, err := CapturePrefix(PrefixOf(fcfg, k))
+				if err != nil {
+					t.Fatal(err)
+				}
+				forked, err := RunForked(fcfg, k, cp)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				if forked.Load != cold.Load || forked.Kernel != cold.Kernel ||
+					forked.Store != cold.Store || forked.Total != cold.Total {
+					t.Errorf("phase walls differ:\n  forked load=%v kernel=%v store=%v total=%v\n  cold   load=%v kernel=%v store=%v total=%v",
+						forked.Load, forked.Kernel, forked.Store, forked.Total,
+						cold.Load, cold.Kernel, cold.Store, cold.Total)
+				}
+				if !reflect.DeepEqual(forked.Time, cold.Time) {
+					t.Errorf("time breakdown differs:\n  forked: %+v\n  cold:   %+v", forked.Time, cold.Time)
+				}
+				if !reflect.DeepEqual(forked.Energy, cold.Energy) {
+					t.Errorf("energy account differs:\n  forked: %+v\n  cold:   %+v", forked.Energy, cold.Energy)
+				}
+
+				fr, cr := *forked.Report, *cold.Report
+				fr.Events, fr.EventsRecycled = 0, 0
+				cr.Events, cr.EventsRecycled = 0, 0
+				if !reflect.DeepEqual(fr, cr) {
+					t.Errorf("kernel report differs:\n  forked: %+v\n  cold:   %+v", fr, cr)
+				}
+
+				filter := func(c *obs.Counters) []obs.Entry {
+					out := make([]obs.Entry, 0, c.Len())
+					for _, e := range c.Entries() {
+						if !eventCounter(e.Name) && !prefixCounter(e.Name) &&
+							!strings.HasPrefix(e.Name, "sim.lane.load.") {
+							out = append(out, e)
+						}
+					}
+					return out
+				}
+				fe, ce := filter(&forked.Counters), filter(&cold.Counters)
+				if len(fe) != len(ce) {
+					t.Fatalf("counter registries differ in size: %d != %d", len(fe), len(ce))
+				}
+				for i := range fe {
+					if fe[i] != ce[i] {
+						t.Errorf("counter %q: forked %+v != cold %+v", fe[i].Name, fe[i], ce[i])
+					}
+				}
+
+				var fb, cb bytes.Buffer
+				if err := fcfg.Obs.Histograms().WriteJSON(&fb); err != nil {
+					t.Fatal(err)
+				}
+				if err := cfg.Obs.Histograms().WriteJSON(&cb); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(fb.Bytes(), cb.Bytes()) {
+					t.Error("histogram JSON exports are not byte-identical")
+				}
+				fb.Reset()
+				cb.Reset()
+				if err := fcfg.Obs.Series().WriteCSV(&fb); err != nil {
+					t.Fatal(err)
+				}
+				if err := cfg.Obs.Series().WriteCSV(&cb); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(fb.Bytes(), cb.Bytes()) {
+					t.Error("series CSV exports are not byte-identical")
 				}
 			})
 		}

@@ -1,0 +1,118 @@
+package system
+
+import "dramless/internal/sim"
+
+// Storage-phase lane models: the load/store phases dispatch their staged
+// device traffic through sim.RunLanes (DESIGN.md §13) instead of a
+// sequential fold. Each phaseLane wraps one stream of phase operations
+// that touches a disjoint device set — e.g. the host stack (submission,
+// image DMA, file I/O) versus the external SSD's staged reads — so lanes
+// may run tails concurrently while the coordinator dispatches heads in
+// global (time, lane) order. Streams that share device state (the SSD's
+// FTL/buffer, the host's CPU/DMA pipes, a PCIe link) stay within one
+// lane, in their original serial call order, which is what makes every
+// tail provably lane-private and the laned execution byte-identical to
+// the serial phase at any worker count.
+
+// phaseOp is one timed phase operation. Ops capture their inputs and
+// publish results through closed-over variables; the returned time is
+// the op's completion, feeding the lane's frontier.
+type phaseOp func() (sim.Time, error)
+
+// phaseLane is one device-disjoint operation stream of a storage phase.
+type phaseLane struct {
+	now sim.Time
+	ops []phaseOp
+	pos int
+}
+
+var _ sim.LaneModel = (*phaseLane)(nil)
+
+func newPhaseLane(at sim.Time, ops ...phaseOp) *phaseLane {
+	return &phaseLane{now: at, ops: ops}
+}
+
+// step runs the next op, advancing the lane clock monotonically (an op
+// may complete before a predecessor that targeted a later device time;
+// the published frontier must never move backwards).
+func (l *phaseLane) step() (sim.Time, error) {
+	t, err := l.ops[l.pos]()
+	l.pos++
+	if t > l.now {
+		l.now = t
+	}
+	return l.now, err
+}
+
+func (l *phaseLane) Now() sim.Time { return l.now }
+
+func (l *phaseLane) StepHead() (bool, error) {
+	if l.pos >= len(l.ops) {
+		return false, nil
+	}
+	_, err := l.step()
+	return true, err
+}
+
+// TailRun absorbs every remaining op inline: by construction the whole
+// lane touches only its own device set, so nothing after the first head
+// needs coordinated dispatch.
+func (l *phaseLane) TailRun(publish func(sim.Time)) (int64, error) {
+	var extra int64
+	for l.pos < len(l.ops) {
+		t, err := l.step()
+		if publish != nil {
+			publish(t)
+		}
+		if err != nil {
+			return extra, err
+		}
+		extra++
+	}
+	return extra, nil
+}
+
+// phaseHorizon is the lane executor's lookahead for storage phases: the
+// microsecond scale of one host submission round-trip, the fastest any
+// cross-stream interaction (host completion vs device staging) resolves.
+// Like the kernel phase's horizon it feeds only the deterministic
+// window/stall statistics, never dispatch safety.
+const phaseHorizon = sim.Microsecond
+
+// runPhase executes the phase's lanes: serially in lane-major order (the
+// legacy sequential code path, op for op) when the lane knob is off or a
+// tracer is attached (the tracer is a coordinator-owned appender), and
+// through sim.RunLanes otherwise, recording the stats into *stat. Both
+// modes produce byte-identical device state and timing.
+func (b *build) runPhase(stat *sim.LaneStats, on *bool, lanes ...*phaseLane) error {
+	workers := b.cfg.Accel.Lanes
+	if workers <= 0 || b.cfg.Obs.Tracer().Enabled() {
+		for _, l := range lanes {
+			for l.pos < len(l.ops) {
+				if _, err := l.step(); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	models := make([]sim.LaneModel, len(lanes))
+	for i, l := range lanes {
+		models[i] = l
+	}
+	st, err := sim.RunLanes(models, workers, phaseHorizon)
+	if err != nil {
+		return err
+	}
+	*stat = st
+	*on = true
+	return nil
+}
+
+func sumI64(xs []int64) int64 {
+	var s int64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

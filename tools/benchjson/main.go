@@ -37,6 +37,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -50,12 +51,18 @@ type result struct {
 	Metrics    map[string]float64 `json:"metrics"`
 }
 
-// document is the emitted file.
+// document is the emitted file. GOMAXPROCS and NumCPU pin the host
+// shape the numbers were recorded on: min-of-N ns/op is only comparable
+// between runs with the same available parallelism (the laned-serial
+// executors and the experiment engine's worker pool both scale with
+// it), so -compare warns when they differ instead of silently flapping.
 type document struct {
 	Goos       string   `json:"goos,omitempty"`
 	Goarch     string   `json:"goarch,omitempty"`
 	Pkg        string   `json:"pkg,omitempty"`
 	CPU        string   `json:"cpu,omitempty"`
+	GoMaxProcs int      `json:"gomaxprocs,omitempty"`
+	NumCPU     int      `json:"numcpu,omitempty"`
 	Benchmarks []result `json:"benchmarks"`
 }
 
@@ -84,7 +91,11 @@ func main() {
 		return
 	}
 
-	doc := document{Benchmarks: []result{}}
+	doc := document{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Benchmarks: []result{},
+	}
 	byName := map[string]int{} // first-seen order, min ns/op wins
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -159,6 +170,16 @@ func compareBaseline(doc document, path string, threshold float64) (bool, error)
 	var base document
 	if err := json.Unmarshal(raw, &base); err != nil {
 		return false, fmt.Errorf("benchjson: parse baseline %s: %w", path, err)
+	}
+	// Host-shape mismatch is a warning, not a failure: the deltas still
+	// print, but they are not apples to apples. Baselines recorded before
+	// the fields existed (both zero) skip the check.
+	if base.GoMaxProcs != 0 || base.NumCPU != 0 {
+		if base.GoMaxProcs != doc.GoMaxProcs || base.NumCPU != doc.NumCPU {
+			fmt.Fprintf(os.Stderr,
+				"benchjson: WARNING: host shape differs from baseline %s: GOMAXPROCS %d vs %d, NumCPU %d vs %d — ns/op deltas are not comparable\n",
+				path, doc.GoMaxProcs, base.GoMaxProcs, doc.NumCPU, base.NumCPU)
+		}
 	}
 	baseNs := make(map[string]float64, len(base.Benchmarks))
 	for _, b := range base.Benchmarks {
