@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: build test race race-experiments race-sim bench bench-json bench-compare hist-json hist-compare arena-smoke profile trace vet fmt-check ci ci-full verify
+.PHONY: build test race race-experiments race-sim bench bench-json bench-compare hist-json hist-compare arena-smoke blame-smoke profile trace vet fmt-check ci ci-full verify
 
 build:
 	$(GO) build ./...
@@ -85,6 +85,24 @@ hist-compare:
 arena-smoke:
 	$(GO) run ./cmd/dramless arena -kernels gemver > /dev/null
 
+# Blame attribution smoke: run the paper's two headline organizations
+# through `dramless blame` (tracing forced on, so the critical path is
+# exercised too), export both accounts and render the diff that
+# explains the DRAM-less vs Integrated-MLC gap — the diff step parses
+# both exports back, so the JSON round-trip is asserted at the CLI
+# surface. The focused test run then asserts the exactness invariant
+# (phase blame sums == phase walls to the picosecond, every kind) and
+# the export round-trip at the library surface.
+blame-smoke:
+	@mkdir -p prof
+	$(GO) run ./cmd/dramless blame -system DRAM-less -kernel gemver \
+		-o prof/blame.dramless.json > /dev/null
+	$(GO) run ./cmd/dramless blame -system Integrated-MLC -kernel gemver \
+		-o prof/blame.mlc.json > /dev/null
+	$(GO) run ./cmd/dramless blame prof/blame.dramless.json prof/blame.mlc.json
+	$(GO) test -count 1 -run 'TestBlameSumsEqualPhaseWalls' ./internal/system/
+	$(GO) test -count 1 -run 'TestBlameJSONRoundTrip' ./internal/obs/
+
 # CPU + heap profiles of the Figure 15 sweep (the allocation-heaviest
 # experiment) into ./prof/; inspect with `go tool pprof prof/fig15.cpu`.
 # Profiles are scratch output (gitignored), regenerated on demand here.
@@ -115,6 +133,6 @@ ci: test race race-experiments race-sim vet fmt-check
 
 # ci plus the perf and latency regression gates against the committed
 # baselines and the scheduler tournament smoke run.
-ci-full: ci bench-compare hist-compare arena-smoke
+ci-full: ci bench-compare hist-compare arena-smoke blame-smoke
 
 verify: ci

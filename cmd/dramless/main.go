@@ -5,6 +5,7 @@
 //
 //	dramless experiments [-full] [-scale N] [-kernels a,b,c] [-parallel N] [-lanes N] [id ...]
 //	dramless run -system DRAM-less -kernel gemver [-scale N]
+//	dramless blame -system DRAM-less -kernel gemver [-top N]
 //	dramless arena [-policies a,b] [-systems x,y] [-kernels a,b,c]
 //	dramless list
 //
@@ -80,6 +81,8 @@ func main() {
 		cmdTrace(os.Args[2:])
 	case "report":
 		cmdReport(os.Args[2:])
+	case "blame":
+		cmdBlame(os.Args[2:])
 	case "list":
 		cmdList()
 	case "-h", "--help", "help":
@@ -125,10 +128,19 @@ commands:
         counters, -scheduler selects any registered PRAM scheduling
         policy by name (bare-metal, interleaving, selective-erasing,
         final, palp, pause-aware, wear-aware, ...)
-  report [-cdf instrument] <hist.json> [other-hist.json]
+  report [-json] [-cdf instrument] <hist.json> [other-hist.json]
         render percentile tables (p50/p90/p99/p999/max) from a -hist
         export; with two files, compare them side by side; -cdf prints
-        the named instrument's text CDF (diffable across runs)
+        the named instrument's text CDF (diffable across runs); -json
+        emits the table (or CDF) as machine-readable JSON
+  blame [-system name] [-kernel name] [-scale bytes] [-scheduler name]
+        [-top N] [-json] [-o blame.json] [blame.json [other.json]]
+        answer "where did the time go": simulate one cell with tracing
+        forced on, print the exact phase->component->cause blame tree
+        (accounts sum to each phase wall to the picosecond) and the
+        kernel phase's critical path; -o exports the account as JSON;
+        with one file argument render a previous export instead of
+        simulating, with two explain the delta between two exports
 
   experiments and run both take -cpuprofile / -memprofile <file> to
   capture pprof profiles of the simulation (see DESIGN.md §8).
@@ -235,7 +247,13 @@ func cmdExperiments(args []string) {
 			if ct.LaneEvents > 0 {
 				fold = fmt.Sprintf("  fold %4.1f%%", 100*float64(ct.LaneFolded)/float64(ct.LaneEvents))
 			}
-			fmt.Printf("  %-10v %-22s %-8s %s%s\n", ct.Wall.Round(time.Microsecond), ct.Kind, ct.Kernel, tag, fold)
+			// The blame column names where the cell's kernel wall went:
+			// its largest kernel-phase account and that account's share.
+			blame := ""
+			if ct.BlameTop != "" {
+				blame = fmt.Sprintf("  kernel: %s %.1f%%", ct.BlameTop, float64(ct.BlameTopMille)/10)
+			}
+			fmt.Printf("  %-10v %-22s %-8s %s%s%s\n", ct.Wall.Round(time.Microsecond), ct.Kind, ct.Kernel, tag, fold, blame)
 		}
 	}
 }

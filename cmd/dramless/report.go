@@ -33,11 +33,12 @@ func writeExport(path string, asJSON, asCSV func(io.Writer) error) error {
 func cmdReport(args []string) {
 	fs := flag.NewFlagSet("report", flag.ExitOnError)
 	cdf := fs.String("cdf", "", "print the named instrument's text CDF instead of the percentile table")
+	asJSON := fs.Bool("json", false, "emit the table as machine-readable JSON instead of text")
 	fs.Parse(args)
 
 	paths := fs.Args()
 	if len(paths) < 1 || len(paths) > 2 {
-		fmt.Fprintln(os.Stderr, "usage: dramless report [-cdf instrument] <hist.json> [other-hist.json]")
+		fmt.Fprintln(os.Stderr, "usage: dramless report [-json] [-cdf instrument] <hist.json> [other-hist.json]")
 		os.Exit(2)
 	}
 	sets := make([]*dramless.HistogramSet, len(paths))
@@ -55,53 +56,101 @@ func cmdReport(args []string) {
 		}
 	}
 
-	if *cdf != "" {
+	if err := report(os.Stdout, paths, sets, *cdf, *asJSON); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// report renders the requested view of one or two histogram exports to
+// w. Split from cmdReport (and given an explicit writer) so the golden
+// tests can pin the output byte for byte.
+func report(w io.Writer, paths []string, sets []*dramless.HistogramSet, cdf string, asJSON bool) error {
+	if cdf != "" {
 		for i, s := range sets {
-			h := s.Lookup(*cdf)
+			h := s.Lookup(cdf)
 			if h == nil {
-				fmt.Fprintf(os.Stderr, "%s: no instrument %q (have %s)\n",
-					paths[i], *cdf, strings.Join(s.Names(), ", "))
-				os.Exit(1)
+				return fmt.Errorf("%s: no instrument %q (have %s)",
+					paths[i], cdf, strings.Join(s.Names(), ", "))
+			}
+			if asJSON {
+				if err := printCDFJSON(w, h); err != nil {
+					return err
+				}
+				continue
 			}
 			if len(sets) > 1 {
-				fmt.Printf("# %s\n", paths[i])
+				fmt.Fprintf(w, "# %s\n", paths[i])
 			}
-			printCDF(h)
+			printCDF(w, h)
 		}
-		return
+		return nil
 	}
 
-	if len(sets) == 1 {
-		printPercentiles(sets[0])
-		return
+	if asJSON {
+		return printPercentilesJSON(w, paths, sets)
 	}
-	printComparison(paths, sets[0], sets[1])
+	if len(sets) == 1 {
+		printPercentiles(w, sets[0])
+		return nil
+	}
+	printComparison(w, paths, sets[0], sets[1])
+	return nil
 }
 
 // reportPercentiles is the rendered percentile ladder.
 var reportPercentiles = []float64{50, 90, 99, 99.9}
 
 // printPercentiles renders one percentile table in registration order.
-func printPercentiles(s *dramless.HistogramSet) {
-	fmt.Printf("%-28s %12s %12s %12s %12s %12s %12s\n",
+func printPercentiles(w io.Writer, s *dramless.HistogramSet) {
+	fmt.Fprintf(w, "%-28s %12s %12s %12s %12s %12s %12s\n",
 		"instrument", "count", "p50", "p90", "p99", "p999", "max")
 	for _, h := range s.All() {
 		if h.Count() == 0 {
 			continue
 		}
-		fmt.Printf("%-28s %12d", h.Name(), h.Count())
+		fmt.Fprintf(w, "%-28s %12d", h.Name(), h.Count())
 		for _, p := range reportPercentiles {
-			fmt.Printf(" %12s", fmtPS(h.Percentile(p)))
+			fmt.Fprintf(w, " %12s", fmtPS(h.Percentile(p)))
 		}
-		fmt.Printf(" %12s\n", fmtPS(h.Max()))
+		fmt.Fprintf(w, " %12s\n", fmtPS(h.Max()))
 	}
+}
+
+// printPercentilesJSON emits the percentile table as a JSON array, one
+// record per non-empty instrument per file, all values in integer
+// picoseconds. Hand-rendered so the output is byte-deterministic.
+func printPercentilesJSON(w io.Writer, paths []string, sets []*dramless.HistogramSet) error {
+	bw := &strings.Builder{}
+	bw.WriteString("[")
+	first := true
+	for i, s := range sets {
+		for _, h := range s.All() {
+			if h.Count() == 0 {
+				continue
+			}
+			if !first {
+				bw.WriteString(",")
+			}
+			first = false
+			fmt.Fprintf(bw, "\n  {\"file\": %q, \"instrument\": %q, \"count\": %d", paths[i], h.Name(), h.Count())
+			labels := []string{"p50", "p90", "p99", "p999"}
+			for j, p := range reportPercentiles {
+				fmt.Fprintf(bw, ", %q: %d", labels[j], h.Percentile(p))
+			}
+			fmt.Fprintf(bw, ", \"max_ps\": %d}", h.Max())
+		}
+	}
+	bw.WriteString("\n]\n")
+	_, err := io.WriteString(w, bw.String())
+	return err
 }
 
 // printComparison renders two exports' percentiles side by side with the
 // p99 delta, pairing instruments by name in the first file's order.
-func printComparison(paths []string, a, b *dramless.HistogramSet) {
-	fmt.Printf("A = %s\nB = %s\n\n", paths[0], paths[1])
-	fmt.Printf("%-28s %12s %12s %12s %12s %8s\n",
+func printComparison(w io.Writer, paths []string, a, b *dramless.HistogramSet) {
+	fmt.Fprintf(w, "A = %s\nB = %s\n\n", paths[0], paths[1])
+	fmt.Fprintf(w, "%-28s %12s %12s %12s %12s %8s\n",
 		"instrument", "A.p50", "B.p50", "A.p99", "B.p99", "Δp99")
 	for _, ha := range a.All() {
 		hb := b.Lookup(ha.Name())
@@ -112,13 +161,13 @@ func printComparison(paths []string, a, b *dramless.HistogramSet) {
 		if ap99 := ha.Percentile(99); ap99 > 0 && hb != nil {
 			delta = fmt.Sprintf("%+.1f%%", 100*float64(hb.Percentile(99)-ap99)/float64(ap99))
 		}
-		fmt.Printf("%-28s %12s %12s %12s %12s %8s\n", ha.Name(),
+		fmt.Fprintf(w, "%-28s %12s %12s %12s %12s %8s\n", ha.Name(),
 			fmtPS(ha.Percentile(50)), fmtPS(hb.Percentile(50)),
 			fmtPS(ha.Percentile(99)), fmtPS(hb.Percentile(99)), delta)
 	}
 	for _, hb := range b.All() {
 		if a.Lookup(hb.Name()) == nil {
-			fmt.Printf("%-28s only in B (count %d)\n", hb.Name(), hb.Count())
+			fmt.Fprintf(w, "%-28s only in B (count %d)\n", hb.Name(), hb.Count())
 		}
 	}
 }
@@ -126,14 +175,34 @@ func printComparison(paths []string, a, b *dramless.HistogramSet) {
 // printCDF renders one instrument's cumulative distribution as text:
 // one line per non-empty bucket, upper bound then cumulative fraction.
 // The format is plain enough to diff two runs' outputs directly.
-func printCDF(h *dramless.Histogram) {
-	fmt.Printf("# %s: %d samples, min %s, max %s\n", h.Name(), h.Count(), fmtPS(h.Min()), fmtPS(h.Max()))
+func printCDF(w io.Writer, h *dramless.Histogram) {
+	fmt.Fprintf(w, "# %s: %d samples, min %s, max %s\n", h.Name(), h.Count(), fmtPS(h.Min()), fmtPS(h.Max()))
 	var cum int64
 	for _, b := range h.Buckets() {
 		cum += b.Count
 		frac := float64(cum) / float64(h.Count())
-		fmt.Printf("%14d ps  %9.6f  %s\n", b.High-1, frac, cdfBar(frac))
+		fmt.Fprintf(w, "%14d ps  %9.6f  %s\n", b.High-1, frac, cdfBar(frac))
 	}
+}
+
+// printCDFJSON emits one instrument's CDF as a JSON array of
+// (bucket upper bound, cumulative count) pairs — integers only, so the
+// export is byte-deterministic and exact.
+func printCDFJSON(w io.Writer, h *dramless.Histogram) error {
+	bw := &strings.Builder{}
+	fmt.Fprintf(bw, "{\"instrument\": %q, \"count\": %d, \"min_ps\": %d, \"max_ps\": %d, \"cdf\": [",
+		h.Name(), h.Count(), h.Min(), h.Max())
+	var cum int64
+	for i, b := range h.Buckets() {
+		if i > 0 {
+			bw.WriteString(",")
+		}
+		cum += b.Count
+		fmt.Fprintf(bw, "\n  {\"high_ps\": %d, \"cum\": %d}", b.High-1, cum)
+	}
+	bw.WriteString("\n]}\n")
+	_, err := io.WriteString(w, bw.String())
+	return err
 }
 
 // cdfBar renders a 40-column fill bar for a cumulative fraction.

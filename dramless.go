@@ -120,6 +120,26 @@ type Series = obs.Series
 // SeriesSet is an Observer's ordered registry of time series.
 type SeriesSet = obs.SeriesSet
 
+// Blame is a hierarchical exact-integer simulated-time account
+// (phase/component/cause). SystemResult.Blame carries one per run; for
+// every phase its accounts sum to the phase wall to the picosecond.
+type Blame = obs.Blame
+
+// BlameEntry is one blame account: slash-separated name + picoseconds.
+type BlameEntry = obs.BlameEntry
+
+// BlameShare is one ranked blame account with its share of the ranked
+// scope in parts per thousand.
+type BlameShare = obs.BlameShare
+
+// PathSeg is one segment of a Tracer.CriticalPath extraction: the
+// latest-started span covering a stretch of simulated time, or an idle
+// gap (empty Proc). Segments tile the queried window exactly.
+type PathSeg = obs.PathSeg
+
+// FlowEdge is one causal handoff recorded by a traced run.
+type FlowEdge = obs.FlowEdge
+
 // NewObserver builds an Observer; pass WithTracing to record timelines.
 func NewObserver(opts ...ObserverOption) *Observer { return obs.New(opts...) }
 
@@ -133,6 +153,10 @@ func WithSeriesWindow(window Duration) ObserverOption { return obs.WithSeriesWin
 // ReadHistograms parses a HistogramSet.WriteJSON export (the `dramless
 // run -hist` output) back into a set for reporting and comparison.
 func ReadHistograms(r io.Reader) (*HistogramSet, error) { return obs.ReadHistogramsJSON(r) }
+
+// ReadBlame parses a Blame.WriteJSON export (the `dramless blame
+// -json` output) back into an account set for reporting and diffing.
+func ReadBlame(r io.Reader) (*Blame, error) { return obs.ReadBlameJSON(r) }
 
 // Construction options ------------------------------------------------
 //

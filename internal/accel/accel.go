@@ -168,6 +168,10 @@ func (a *Accelerator) Agents() int { return a.cfg.NumPEs - 1 }
 // PSC exposes the power/sleep controller's state and residencies.
 func (a *Accelerator) PSC() *PSC { return a.psc }
 
+// QueueWait returns the cumulative job-queue wait across every RunJobs
+// call on this device (blame attribution).
+func (a *Accelerator) QueueWait() sim.Duration { return a.queueWait }
+
 // serverPort is the crossbar port of the server PE (port 0); agent i uses
 // port i+1; the FPGA controller bridge is the last port.
 const serverPort = 0
@@ -617,6 +621,11 @@ func (a *Accelerator) RunKernel(start sim.Time, k workload.Kernel, p workload.Pa
 			track := fmt.Sprintf("pe%d", i)
 			tr.Span("accel", track, "kernel", kStart, fin)
 			tr.Span("accel", track, "flush", fin, d)
+			// Causal flow edges at the handoff points: the system's load
+			// phase dispatches each agent, and each agent's flush drains
+			// back into the system's store phase.
+			tr.Flow("dispatch", "system", "run", "accel", track, kStart)
+			tr.Flow("drain", "accel", track, "system", "run", d)
 		}
 		run := AgentRun{
 			Instructions: core.Instructions(),

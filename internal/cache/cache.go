@@ -77,6 +77,13 @@ type Stats struct {
 	Evictions  int64
 	Writebacks int64
 	BytesBelow int64 // bytes moved to/from the lower level
+
+	// Service-time accounts in picoseconds of simulated time,
+	// accumulated always-on at the same sites as the hit/miss latency
+	// histograms (blame attribution, DESIGN.md §15). HitPS is exclusive
+	// to this level; MissPS includes the lower level's service time.
+	HitPS  int64
+	MissPS int64
 }
 
 // HitRate returns hits / accesses (0 when idle).
@@ -300,6 +307,7 @@ func (c *Cache) victim(set int) int {
 func (c *Cache) fill(at sim.Time, set int, tag uint64) (int, sim.Time, error) {
 	if w := c.lookup(set, tag); w >= 0 {
 		c.stats.Hits++
+		c.stats.HitPS += int64(c.cfg.HitLatency)
 		if c.hHit != nil {
 			c.hHit.Record(int64(c.cfg.HitLatency))
 		}
@@ -331,6 +339,7 @@ func (c *Cache) fill(at sim.Time, set int, tag uint64) (int, sim.Time, error) {
 	}
 	c.stats.BytesBelow += int64(c.cfg.LineBytes)
 	ln.valid, ln.dirty, ln.tag = true, false, tag
+	c.stats.MissPS += int64(done - at)
 	if c.hMiss != nil {
 		c.hMiss.Record(int64(done - at))
 	}
@@ -564,6 +573,7 @@ func (c *Cache) ReadRun(now sim.Time, r mem.Run, dst []byte) (mem.RunResult, err
 			// Hit fast path: same stats/LRU/instrument effects as fill's
 			// hit arm.
 			c.stats.Hits++
+			c.stats.HitPS += int64(c.cfg.HitLatency)
 			if c.hHit != nil {
 				c.hHit.Record(int64(c.cfg.HitLatency))
 			}
@@ -628,6 +638,7 @@ func (c *Cache) WriteRun(now sim.Time, r mem.Run, src []byte) (mem.RunResult, er
 		if w >= 0 {
 			memoW, memoSet, memoTag = w, set, tag
 			c.stats.Hits++
+			c.stats.HitPS += int64(c.cfg.HitLatency)
 			if c.hHit != nil {
 				c.hHit.Record(int64(c.cfg.HitLatency))
 			}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -68,6 +69,11 @@ type CellTiming struct {
 	// (no lane stats).
 	LaneEvents int64
 	LaneFolded int64
+	// Blame summary from the run's always-on time account: the largest
+	// kernel-phase account (phase prefix stripped) and its share of the
+	// kernel wall in parts per thousand.
+	BlameTop      string
+	BlameTopMille int64
 }
 
 // NewEngine builds an engine for one experiment invocation. Experiments
@@ -122,6 +128,10 @@ func NewEngine(o Options) *Engine {
 		for _, ph := range []string{"sim.lane.load.", "sim.lane.store."} {
 			ct.LaneEvents += res.Counters.Get(ph + "events")
 			ct.LaneFolded += res.Counters.Get(ph + "folded_events")
+		}
+		if top := res.Blame.TopShares("kernel/", 1); len(top) == 1 {
+			ct.BlameTop = strings.TrimPrefix(top[0].Name, "kernel/")
+			ct.BlameTopMille = top[0].Permille
 		}
 		e.mu.Lock()
 		e.timings = append(e.timings, ct)

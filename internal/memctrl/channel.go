@@ -89,6 +89,14 @@ const (
 	outPaused
 )
 
+// Exported aliases of the read outcomes, the indices of Stats.ReadPS.
+const (
+	ReadOutFull   = outFull
+	ReadOutRDB    = outRDB
+	ReadOutRAB    = outRAB
+	ReadOutPaused = outPaused
+)
+
 func newChannel(idx int, cfg Config) (*channel, error) {
 	ch := &channel{
 		cfg:         cfg,
@@ -389,6 +397,7 @@ func (ch *channel) readOne(r *rowReq, at sim.Time) error {
 	}
 	ch.stats.Reads++
 	ch.stats.BytesRead += int64(len(r.dst))
+	ch.stats.ReadPS[out] += int64(r.done - at)
 	if out == outPaused {
 		ch.stats.PausePreemptedReads++
 	}
@@ -483,6 +492,7 @@ func (ch *channel) readWave(at sim.Time, wave []*rowReq) error {
 		r.done = done
 		ch.stats.Reads++
 		ch.stats.BytesRead += int64(len(r.dst))
+		ch.stats.ReadPS[r.out] += int64(r.done - at)
 		if ch.hRead[outFull] != nil {
 			ch.recordRead(r.out, at, r.done, len(r.dst))
 		}
@@ -584,6 +594,11 @@ func (ch *channel) writeRow(at sim.Time, mod int, rowAddr uint64, col int, data 
 	}
 	ch.stats.Writes++
 	ch.stats.BytesWritten += int64(len(data))
+	if fullRow {
+		ch.stats.WriteFullPS += int64(done - entry)
+	} else {
+		ch.stats.WriteRMWPS += int64(done - entry)
+	}
 	if ch.hWriteFull != nil {
 		ch.recordWrite(fullRow, entry, done, len(data))
 	}
@@ -688,6 +703,7 @@ func (ch *channel) writeWave(at sim.Time, wave []*writeReq) error {
 		r.done = d
 		ch.stats.Writes++
 		ch.stats.BytesWritten += int64(len(r.data))
+		ch.stats.WriteFullPS += int64(r.done - at)
 		if ch.hWriteFull != nil {
 			ch.recordWrite(true, at, r.done, len(r.data))
 		}

@@ -197,4 +197,13 @@ type Stats struct {
 
 	BytesRead    int64
 	BytesWritten int64
+
+	// Service-time accounts in picoseconds of simulated time,
+	// accumulated always-on at the same sites as the latency histograms
+	// (blame attribution, DESIGN.md §15): per-outcome read service time
+	// (indexed by the outFull/outRDB/outRAB/outPaused read outcomes)
+	// and write service time split full-row vs read-modify-write.
+	ReadPS      [4]int64
+	WriteFullPS int64
+	WriteRMWPS  int64
 }

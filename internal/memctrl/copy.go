@@ -125,6 +125,7 @@ func (w *wearState) CopyFrom(src *wearState) {
 	copy(w.gap, src.gap)
 	copy(w.writes, src.writes)
 	w.moves = src.moves
+	w.movePS = src.movePS
 	w.perRow = make(map[uint64]int64, len(src.perRow))
 	for row, c := range src.perRow {
 		w.perRow[row] = c

@@ -449,6 +449,21 @@ func (s *Subsystem) Stats() Stats {
 		out.PausePreemptedReads += ch.stats.PausePreemptedReads
 		out.BytesRead += ch.stats.BytesRead
 		out.BytesWritten += ch.stats.BytesWritten
+		for i := range out.ReadPS {
+			out.ReadPS[i] += ch.stats.ReadPS[i]
+		}
+		out.WriteFullPS += ch.stats.WriteFullPS
+		out.WriteRMWPS += ch.stats.WriteRMWPS
+	}
+	return out
+}
+
+// ChannelStats returns each channel's controller-level activity in
+// channel order (the blame layer attributes service time per channel).
+func (s *Subsystem) ChannelStats() []Stats {
+	out := make([]Stats, len(s.channels))
+	for i, ch := range s.channels {
+		out[i] = ch.stats
 	}
 	return out
 }

@@ -33,6 +33,7 @@ type wearState struct {
 	gap        []uint64 // per-region gap position, 0..R-1
 	writes     []int64  // per-region programs since the last gap move
 	moves      int64
+	movePS     int64 // simulated ps spent on gap-move copies (blame)
 
 	// perRow counts physical-row programs for endurance reporting.
 	perRow map[uint64]int64
@@ -192,6 +193,7 @@ func (s *Subsystem) noteProgram(at sim.Time, paddr uint64) (sim.Time, error) {
 	if err != nil {
 		return 0, err
 	}
+	w.movePS += int64(d - at)
 	w.gap[region]--
 	w.perRow[dst]++
 	return d, nil
@@ -217,11 +219,12 @@ func (s *Subsystem) writePhysicalRow(at sim.Time, row uint64, data []byte) (sim.
 
 // WearStats summarizes physical-row program counts.
 type WearStats struct {
-	Enabled  bool
-	GapMoves int64
-	MaxWear  int64   // programs on the hottest physical row
-	Rows     int     // physical rows ever programmed
-	MeanWear float64 // programs per touched row
+	Enabled   bool
+	GapMoves  int64
+	GapMovePS int64   // simulated ps spent on gap-move copies
+	MaxWear   int64   // programs on the hottest physical row
+	Rows      int     // physical rows ever programmed
+	MeanWear  float64 // programs per touched row
 }
 
 // WearStats returns the current endurance picture.
@@ -231,6 +234,7 @@ func (s *Subsystem) WearStats() WearStats {
 		return out
 	}
 	out.GapMoves = s.wear.moves
+	out.GapMovePS = s.wear.movePS
 	var total int64
 	for _, c := range s.wear.perRow {
 		total += c

@@ -1,0 +1,239 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestBlameNilSafe(t *testing.T) {
+	var b *Blame
+	b.Add("load/host/cpu", 10) // must not panic
+	if b.Get("load/host/cpu") != 0 || b.Len() != 0 || b.Sum("load/") != 0 {
+		t.Fatal("nil Blame must read as empty")
+	}
+	if b.Entries() != nil || b.TopShares("load/", 3) != nil {
+		t.Fatal("nil Blame must enumerate as empty")
+	}
+	b.Merge(NewBlame()) // no-op, no panic
+}
+
+func TestBlameAddGetSum(t *testing.T) {
+	b := NewBlame()
+	b.Add("load/host/cpu", 10)
+	b.Add("load/pcie.accel/dma", 30)
+	b.Add("kernel/pe/compute", 100)
+	b.Add("load/host/cpu", 5)
+	if got := b.Get("load/host/cpu"); got != 15 {
+		t.Fatalf("Get = %d, want 15", got)
+	}
+	if got := b.Sum("load/"); got != 45 {
+		t.Fatalf("Sum(load/) = %d, want 45", got)
+	}
+	if got := b.Sum("kernel/"); got != 100 {
+		t.Fatalf("Sum(kernel/) = %d, want 100", got)
+	}
+	if b.Len() != 3 {
+		t.Fatalf("Len = %d, want 3 (re-add must not re-register)", b.Len())
+	}
+	// Registration order is first-use order.
+	names := []string{}
+	for _, e := range b.Entries() {
+		names = append(names, e.Name)
+	}
+	want := "load/host/cpu,load/pcie.accel/dma,kernel/pe/compute"
+	if got := strings.Join(names, ","); got != want {
+		t.Fatalf("order = %s, want %s", got, want)
+	}
+}
+
+func TestBlameMergeEqualDiff(t *testing.T) {
+	a := NewBlame()
+	a.Add("load/host/cpu", 10)
+	a.Add("kernel/pe/compute", 20)
+	b := NewBlame()
+	b.Add("load/host/cpu", 1)
+	b.Add("kernel/pe/compute", 2)
+	a.Merge(b)
+	if a.Get("load/host/cpu") != 11 || a.Get("kernel/pe/compute") != 22 {
+		t.Fatalf("merge totals wrong: %v", a.Entries())
+	}
+	c := NewBlame()
+	c.Add("load/host/cpu", 11)
+	c.Add("kernel/pe/compute", 22)
+	if !a.Equal(c) || a.Diff(c) != "" {
+		t.Fatalf("expected equal, diff:\n%s", a.Diff(c))
+	}
+	c.Add("store/unattributed", 1)
+	if a.Equal(c) || a.Diff(c) == "" {
+		t.Fatal("length mismatch must not compare equal")
+	}
+	d := NewBlame()
+	d.Add("load/host/cpu", 11)
+	d.Add("kernel/pe/compute", 23)
+	if a.Equal(d) || !strings.Contains(a.Diff(d), "kernel/pe/compute") {
+		t.Fatalf("value mismatch must show in Diff, got:\n%s", a.Diff(d))
+	}
+}
+
+func TestBlameJSONRoundTrip(t *testing.T) {
+	b := NewBlame()
+	b.Add("load/host/cpu", 12345)
+	b.Add("kernel/memctrl.ch0/rdb_hit", 999999999999)
+	b.Add("store/unattributed", 7)
+	var buf bytes.Buffer
+	if err := b.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBlameJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.Equal(got) {
+		t.Fatalf("round trip diverged:\n%s", b.Diff(got))
+	}
+	// Export is byte-deterministic.
+	var b1, b2 bytes.Buffer
+	if err := b.WriteJSON(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := got.WriteJSON(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatal("JSON export not byte-deterministic")
+	}
+	// Empty set exports a valid (empty) array.
+	var eb bytes.Buffer
+	if err := NewBlame().WriteJSON(&eb); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBlameJSON(&eb); err != nil {
+		t.Fatalf("empty export must parse: %v", err)
+	}
+}
+
+func TestMulDiv(t *testing.T) {
+	cases := []struct{ a, b, div, q, r int64 }{
+		{0, 5, 3, 0, 0},
+		{5, 0, 3, 0, 0},
+		{5, 3, 0, 0, 0},
+		{7, 3, 5, 4, 1}, // 21/5
+		{1 << 40, 1 << 22, 1, 1 << 62, 0},
+		{3_000_000_000_000, 2_500_000_000_000, 5_000_000_000_000, 1_500_000_000_000, 0},
+	}
+	for _, c := range cases {
+		q, r := MulDiv(c.a, c.b, c.div)
+		if q != c.q || r != c.r {
+			t.Errorf("MulDiv(%d,%d,%d) = %d,%d want %d,%d", c.a, c.b, c.div, q, r, c.q, c.r)
+		}
+	}
+	// 128-bit intermediate: a*b overflows int64 but the quotient fits.
+	a, b, div := int64(1)<<62, int64(1000), int64(1)<<32
+	q, _ := MulDiv(a, b, div)
+	want := int64(1) << 30 * 1000
+	if q != want {
+		t.Fatalf("128-bit MulDiv = %d, want %d", q, want)
+	}
+}
+
+func TestApportionExact(t *testing.T) {
+	cases := []struct {
+		total   int64
+		weights []int64
+	}{
+		{100, []int64{1, 1, 1}},
+		{7, []int64{3, 3, 3}},
+		{1, []int64{5, 7}},
+		{999_999_999_999, []int64{1, 2, 3, 4, 5, 6, 7}},
+		{1 << 50, []int64{1 << 40, 1, 1 << 20}},
+		{17, []int64{0, 5, 0, 5}},
+	}
+	for _, c := range cases {
+		shares := Apportion(c.total, c.weights)
+		if shares == nil {
+			t.Fatalf("Apportion(%d, %v) = nil", c.total, c.weights)
+		}
+		var sum int64
+		for i, s := range shares {
+			if s < 0 {
+				t.Fatalf("negative share %d in %v", s, shares)
+			}
+			if c.weights[i] == 0 && s != 0 {
+				t.Fatalf("zero weight got share %d in %v", s, shares)
+			}
+			sum += s
+		}
+		if sum != c.total {
+			t.Fatalf("Apportion(%d, %v) sums to %d", c.total, c.weights, sum)
+		}
+	}
+	if Apportion(100, nil) != nil || Apportion(100, []int64{0, 0}) != nil || Apportion(0, []int64{1}) != nil {
+		t.Fatal("degenerate apportionments must return nil")
+	}
+	// Deterministic: same inputs, same shares (ties to lower index).
+	w := []int64{3, 3, 3}
+	a := Apportion(7, w)
+	b := Apportion(7, w)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic apportionment: %v vs %v", a, b)
+		}
+	}
+	if a[0] != 3 || a[1] != 2 || a[2] != 2 {
+		t.Fatalf("tie-break must favor lower index, got %v", a)
+	}
+}
+
+func TestBlameTopShares(t *testing.T) {
+	b := NewBlame()
+	b.Add("kernel/pe/compute", 700)
+	b.Add("kernel/cache.l1/hit", 200)
+	b.Add("kernel/cache.l2/hit", 100)
+	b.Add("load/host/cpu", 999)
+	top := b.TopShares("kernel/", 2)
+	if len(top) != 2 || top[0].Name != "kernel/pe/compute" || top[1].Name != "kernel/cache.l1/hit" {
+		t.Fatalf("TopShares = %+v", top)
+	}
+	if top[0].Permille != 700 {
+		t.Fatalf("permille = %d, want 700", top[0].Permille)
+	}
+}
+
+func TestBlameWriteTree(t *testing.T) {
+	b := NewBlame()
+	b.Add("load/host/cpu", 30)
+	b.Add("load/pcie.accel/dma", 70)
+	b.Add("kernel/pe/compute", 100)
+	var buf bytes.Buffer
+	if err := b.WriteTree(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"load", "host", "cpu", "pcie.accel", "kernel", "100.0%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("tree output missing %q:\n%s", want, out)
+		}
+	}
+	// Interior sums: the load node shows 100ps (30+70).
+	if !strings.Contains(out, "100ps") {
+		t.Fatalf("interior node must sum children:\n%s", out)
+	}
+}
+
+func TestBlameNamesCataloged(t *testing.T) {
+	// The account names the system layer emits must normalize into the
+	// catalog (channel indices collapse inside slash parts).
+	for _, n := range []string{
+		"load/host/cpu", "load/memctrl.ch3/rdb_hit", "kernel/memctrl.ch0/write_rmw",
+		"kernel/pe/compute", "kernel/cache.l1/hit", "store/unattributed",
+		"kernel/accel/job_queue_wait", "raw/cache.l2/miss",
+	} {
+		if !Cataloged(n) {
+			t.Errorf("blame account %q not cataloged (normalized %q)", n, NormalizeName(n))
+		}
+	}
+	if NormalizeName("kernel/memctrl.ch12/rab_hit") != "kernel/memctrl.chN/rab_hit" {
+		t.Fatalf("slash-aware normalization broken: %q", NormalizeName("kernel/memctrl.ch12/rab_hit"))
+	}
+}

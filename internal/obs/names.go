@@ -132,12 +132,51 @@ func init() {
 			p+"fw_requests", p+"fw_busy_ps", p+"dram_bytes",
 		)
 	}
+	// Blame accounts (DESIGN.md §15): phase/component/cause. Every phase
+	// can carry any device cause (the kernel's stall share is subdivided
+	// over the same device list); the pe/cache/job-queue causes are
+	// kernel-phase only, and raw/ holds unscaled component accounts that
+	// cannot join the exclusive tree.
+	for _, ph := range []string{"load/", "kernel/", "store/"} {
+		catalogAll(
+			ph+"unattributed", ph+"host/cpu",
+			ph+"pcie.accel/dma", ph+"pcie.ssd/dma",
+			ph+"ssd.ext/read", ph+"ssd.ext/write", ph+"ssd.ext/ftl_program",
+			ph+"ssd.int/read", ph+"ssd.int/write", ph+"ssd.int/ftl_program",
+			ph+"memctrl.chN/rdb_hit", ph+"memctrl.chN/rab_hit",
+			ph+"memctrl.chN/full_read", ph+"memctrl.chN/paused_read",
+			ph+"memctrl.chN/write_full", ph+"memctrl.chN/write_rmw",
+			ph+"memctrl.wear/gap_move",
+		)
+	}
+	catalogAll(
+		"kernel/pe/compute", "kernel/pe/stall",
+		"kernel/cache.l1/hit", "kernel/cache.l2/hit",
+		"kernel/accel/job_queue_wait",
+		"raw/cache.l1/miss", "raw/cache.l2/miss",
+	)
 }
 
 // NormalizeName collapses per-instance indices in an instrument name:
 // dotted segments of the form ch<digits> or pe<digits> become chN / peN,
-// so one catalog entry covers every channel and PE.
+// so one catalog entry covers every channel and PE. Blame account names
+// nest components with "/" (phase/component/cause); each part is
+// normalized independently.
 func NormalizeName(name string) string {
+	if strings.Contains(name, "/") {
+		parts := strings.Split(name, "/")
+		changed := false
+		for i, p := range parts {
+			if n := NormalizeName(p); n != p {
+				parts[i] = n
+				changed = true
+			}
+		}
+		if !changed {
+			return name
+		}
+		return strings.Join(parts, "/")
+	}
 	segs := strings.Split(name, ".")
 	changed := false
 	for i, s := range segs {

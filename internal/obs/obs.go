@@ -316,6 +316,7 @@ type Observer struct {
 	tracer   *Tracer
 	hists    HistogramSet
 	series   *SeriesSet
+	blame    Blame
 }
 
 // Option customizes New.
@@ -371,6 +372,24 @@ func (o *Observer) Record(c *Counters) {
 		return
 	}
 	o.counters.Merge(c)
+}
+
+// Blame returns the accumulated time-blame account set (nil when o is
+// nil; the nil set is safe to read and record against).
+func (o *Observer) Blame() *Blame {
+	if o == nil {
+		return nil
+	}
+	return &o.blame
+}
+
+// RecordBlame merges one run's blame accounts into the Observer's set.
+// Nil-safe on both sides.
+func (o *Observer) RecordBlame(b *Blame) {
+	if o == nil {
+		return
+	}
+	o.blame.Merge(b)
 }
 
 // Histograms returns the Observer's latency-histogram registry, nil

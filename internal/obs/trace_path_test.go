@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dramless/internal/sim"
+)
+
+func TestFlowNilSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Flow("x", "a", "t", "b", "t", 10) // must not panic
+	if tr.Flows() != nil {
+		t.Fatal("nil tracer must report no flows")
+	}
+}
+
+func TestFlowRecordingAndReset(t *testing.T) {
+	tr := NewTracer()
+	tr.Flow("dispatch", "system", "run", "accel", "pe0", 100)
+	tr.Flow("drain", "accel", "pe0", "system", "run", 200)
+	fs := tr.Flows()
+	if len(fs) != 2 || fs[0].Name != "dispatch" || fs[1].At != 200 {
+		t.Fatalf("flows = %+v", fs)
+	}
+	tr.Reset()
+	if len(tr.Flows()) != 0 || tr.Len() != 0 {
+		t.Fatal("Reset must drop flows")
+	}
+}
+
+// pathTotal sums segment durations.
+func pathTotal(segs []PathSeg) sim.Duration {
+	var d sim.Duration
+	for _, s := range segs {
+		d += s.Dur()
+	}
+	return d
+}
+
+func TestCriticalPathTilesExactly(t *testing.T) {
+	tr := NewTracer()
+	// Two overlapping reads, a later program, and an enclosing kernel.
+	tr.Span("pram.ch0", "pkg0", "read", 1_000, 61_000)
+	tr.Span("pram.ch0", "pkg1", "read", 21_000, 81_000)
+	tr.Span("pram.ch0", "pkg0", "program", 90_000, 1_090_000)
+	tr.Span("accel", "pe0", "kernel", 0, 2_000_000)
+	start, end := sim.Time(0), sim.Time(2_000_000)
+	segs := tr.CriticalPath(start, end)
+	if got := pathTotal(segs); got != sim.Duration(end-start) {
+		t.Fatalf("path sums to %d, want %d", got, end-start)
+	}
+	// Ascending, gap-free tiling.
+	cur := start
+	for i, s := range segs {
+		if s.Start != cur || s.End <= s.Start {
+			t.Fatalf("segment %d [%d,%d) does not tile from %d: %+v", i, s.Start, s.End, cur, segs)
+		}
+		cur = s.End
+	}
+	if cur != end {
+		t.Fatalf("tiling ends at %d, want %d", cur, end)
+	}
+	// The latest-started covering span wins: the tail of the window is
+	// the program span's stretch, then the kernel resumes to the end.
+	last := segs[len(segs)-1]
+	if last.Name != "kernel" {
+		t.Fatalf("last segment = %+v, want the enclosing kernel", last)
+	}
+	var sawProgram bool
+	for _, s := range segs {
+		if s.Name == "program" {
+			sawProgram = true
+			if s.Start != 90_000 || s.End != 1_090_000 {
+				t.Fatalf("program segment = %+v", s)
+			}
+		}
+	}
+	if !sawProgram {
+		t.Fatalf("critical path missed the program span: %+v", segs)
+	}
+}
+
+func TestCriticalPathIdleGaps(t *testing.T) {
+	tr := NewTracer()
+	tr.Span("a", "t", "one", 100, 200)
+	tr.Span("a", "t", "two", 400, 500)
+	segs := tr.CriticalPath(0, 600)
+	if got := pathTotal(segs); got != 600 {
+		t.Fatalf("path sums to %d, want 600", got)
+	}
+	// Expected: idle [0,100), one [100,200), idle [200,400), two
+	// [400,500), idle [500,600).
+	wantIdle := []bool{true, false, true, false, true}
+	if len(segs) != len(wantIdle) {
+		t.Fatalf("got %d segments: %+v", len(segs), segs)
+	}
+	for i, s := range segs {
+		if (s.Proc == "") != wantIdle[i] {
+			t.Fatalf("segment %d idle=%v, want %v (%+v)", i, s.Proc == "", wantIdle[i], segs)
+		}
+	}
+}
+
+func TestCriticalPathEmptyAndNil(t *testing.T) {
+	var nilTr *Tracer
+	segs := nilTr.CriticalPath(10, 20)
+	if len(segs) != 1 || segs[0].Proc != "" || segs[0].Dur() != 10 {
+		t.Fatalf("nil tracer path = %+v", segs)
+	}
+	if nilTr.CriticalPath(20, 20) != nil {
+		t.Fatal("empty window must return nil")
+	}
+	tr := NewTracer()
+	segs = tr.CriticalPath(0, 5)
+	if len(segs) != 1 || segs[0].Dur() != 5 {
+		t.Fatalf("empty tracer path = %+v", segs)
+	}
+}
+
+func TestCriticalPathTieBreaksToLaterRecording(t *testing.T) {
+	tr := NewTracer()
+	tr.Span("a", "t", "first", 100, 300)
+	tr.Span("b", "t", "second", 100, 300) // same interval, recorded later
+	segs := tr.CriticalPath(100, 300)
+	if len(segs) != 1 || segs[0].Name != "second" {
+		t.Fatalf("tie must go to the later-recorded span: %+v", segs)
+	}
+}
+
+func TestChromeJSONEmitsFlows(t *testing.T) {
+	tr := NewTracer()
+	tr.Span("system", "run", "load", 0, 100)
+	tr.Span("accel", "pe0", "kernel", 100, 200)
+	tr.Flow("dispatch", "system", "run", "accel", "pe0", 100)
+	var buf bytes.Buffer
+	if err := tr.WriteChromeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"ph":"s"`, `"ph":"f"`, `"bp":"e"`, `"cat":"flow"`, `"name":"dispatch"`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chrome export missing %s:\n%s", want, out)
+		}
+	}
+	// A flow to a track no span used must still register the track.
+	tr2 := NewTracer()
+	tr2.Flow("only", "p1", "t1", "p2", "t2", 5)
+	var buf2 bytes.Buffer
+	if err := tr2.WriteChromeJSON(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf2.String(), `"name":"p2"`) {
+		t.Fatalf("flow endpoints must register processes:\n%s", buf2.String())
+	}
+	// Byte-determinism.
+	var buf3 bytes.Buffer
+	if err := tr.WriteChromeJSON(&buf3); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf3.Bytes()) {
+		t.Fatal("chrome export not byte-deterministic")
+	}
+}

@@ -79,6 +79,14 @@ type Stats struct {
 	Flushes      int64 // dirty page programs
 	GCRuns       int64
 	GCMoves      int64
+
+	// Service-time accounts in picoseconds of simulated time,
+	// accumulated always-on at the same sites as the latency histograms
+	// (blame attribution, DESIGN.md §15): request-level read/write
+	// service time and FTL page-program time (evictions and flushes).
+	ReadPS    int64
+	WritePS   int64
+	ProgramPS int64
 }
 
 // bufEntry is one cached page.
@@ -298,6 +306,7 @@ func (s *SSD) evictIfFull(at sim.Time) (sim.Time, error) {
 		s.stats.Flushes++
 		done, err := s.ftl.write(at, victim, e.data)
 		if err == nil {
+			s.stats.ProgramPS += int64(done - at)
 			s.hProgram.Record(int64(done - at))
 		}
 		s.recycle(e) // ftl.write copied the page into the array store
@@ -382,6 +391,7 @@ func (s *SSD) ReadInto(at sim.Time, addr uint64, dst []byte) (sim.Time, error) {
 		off += take
 	}
 	s.stats.Reads++
+	s.stats.ReadPS += int64(done - at)
 	s.hRead.Record(int64(done - at))
 	return done, nil
 }
@@ -437,6 +447,7 @@ func (s *SSD) Write(at sim.Time, addr uint64, data []byte) (sim.Time, error) {
 		off += take
 	}
 	s.stats.Writes++
+	s.stats.WritePS += int64(done - at)
 	s.hWrite.Record(int64(done - at))
 	return done, nil
 }
@@ -464,6 +475,7 @@ func (s *SSD) Flush(at sim.Time) (sim.Time, error) {
 		if err != nil {
 			return 0, err
 		}
+		s.stats.ProgramPS += int64(d - at)
 		s.hProgram.Record(int64(d - at))
 		e.dirty = false
 		s.stats.Flushes++

@@ -5,8 +5,10 @@ import (
 	"dramless/internal/energy"
 	"dramless/internal/flash"
 	"dramless/internal/lpddr"
+	"dramless/internal/memctrl"
 	"dramless/internal/pram"
 	"dramless/internal/sim"
+	"dramless/internal/ssd"
 )
 
 // snapshot freezes the cumulative counters of every component so the
@@ -23,6 +25,16 @@ type snapshot struct {
 	accLinkB, ssdLinkB int64
 	norRdB, norWrB     int64
 	dramIn, dramOut    int64
+
+	// Blame-weight baselines: the always-on exclusive service-time
+	// accounts each component accumulates in simulated picoseconds
+	// (blame.go, DESIGN.md §15). Phase deltas between successive
+	// snapshots are the apportionment weights.
+	extStats, intStats       ssd.Stats
+	chPS                     []memctrl.Stats
+	wearMovePS               int64
+	accLinkBusy, ssdLinkBusy sim.Duration
+	queueWait                sim.Duration
 }
 
 func (b *build) snapshot() snapshot {
@@ -31,15 +43,22 @@ func (b *build) snapshot() snapshot {
 		s.extArr = b.extSSD.ArrayStats()
 		s.extFW = b.extSSD.FirmwareBusy()
 		s.extDRAMBytes = b.extSSD.DRAMBytes()
+		s.extStats = b.extSSD.Stats()
 	}
 	if b.intSSD != nil {
 		s.intArr = b.intSSD.ArrayStats()
 		s.intFW = b.intSSD.FirmwareBusy()
 		s.intDRAMBytes = b.intSSD.DRAMBytes()
+		s.intStats = b.intSSD.Stats()
 	}
 	if b.sub != nil {
 		s.subStats = b.sub.ModuleStats()
+		s.chPS = b.sub.ChannelStats()
+		s.wearMovePS = b.sub.WearStats().GapMovePS
 	}
+	s.accLinkBusy = b.accLink.BusyTime()
+	s.ssdLinkBusy = b.ssdLink.BusyTime()
+	s.queueWait = b.acc.QueueWait()
 	if b.fwWrap != nil {
 		s.wrapFW = b.fwWrap.Firmware().BusyTime()
 	}

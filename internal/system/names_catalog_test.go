@@ -44,6 +44,16 @@ func TestEmittedNamesAreCataloged(t *testing.T) {
 					t.Errorf("series %q is not in the catalog", n)
 				}
 			}
+			blame := cfg.Obs.Blame()
+			if blame.Len() == 0 {
+				t.Error("run with observer recorded no blame accounts")
+			}
+			for _, e := range blame.Entries() {
+				if !obs.Cataloged(e.Name) {
+					t.Errorf("blame account %q (normalized %q) is not in the catalog",
+						e.Name, obs.NormalizeName(e.Name))
+				}
+			}
 		})
 	}
 }

@@ -46,6 +46,11 @@ type Result struct {
 	// Energy is the Figure 17 decomposition.
 	Energy *energy.Account
 
+	// Blame is the exact simulated-time account (DESIGN.md §15):
+	// phase/component/cause shares that sum to each phase wall to the
+	// picosecond. Always populated, like Counters.
+	Blame *obs.Blame
+
 	// Report is the kernel-phase execution report (IPC series, spans).
 	Report *accel.Report
 
@@ -496,18 +501,27 @@ func Run(cfg Config, k workload.Kernel) (*Result, error) {
 func (b *build) finish(k workload.Kernel, p workload.Params, runStart, loadEnd sim.Time, snap snapshot, prefixCounter string) (*Result, error) {
 	cfg := b.cfg
 
+	// Blame snapshots bracket each remaining phase. On a cold run the
+	// build is sitting exactly at the end of its load phase here; on a
+	// forked run copyFrom reproduced the template's loadEnd state — the
+	// same accumulator values either way, so cold and forked runs build
+	// byte-identical blame accounts.
+	loadSnap := b.snapshot()
+
 	// ---- Kernel phase. ----
 	rep, err := b.acc.RunKernel(loadEnd, k, p)
 	if err != nil {
 		return nil, err
 	}
 	kernelEnd := rep.End
+	kernSnap := b.snapshot()
 
 	// ---- Store phase: persist outputs. ----
 	storeEnd, err := b.storePhase(kernelEnd, k, p, k.OutputBytes(p))
 	if err != nil {
 		return nil, err
 	}
+	storeSnap := b.snapshot()
 
 	res := &Result{
 		Kind:      cfg.Kind,
@@ -535,6 +549,7 @@ func (b *build) finish(k workload.Kernel, p workload.Params, runStart, loadEnd s
 	res.Time.Add(TimeStore, (storeEnd - kernelEnd).Seconds())
 
 	res.Energy = b.accountEnergy(snap, rep, runStart, loadEnd, kernelEnd, storeEnd)
+	res.Blame = b.accountBlame(rep, &snap, &loadSnap, &kernSnap, &storeSnap, runStart, loadEnd, kernelEnd, storeEnd)
 
 	b.collectCounters(rep, &res.Counters)
 	res.Counters.Add(prefixCounter, 1)
@@ -547,8 +562,12 @@ func (b *build) finish(k workload.Kernel, p workload.Params, runStart, loadEnd s
 		tr.Span("system", "run", TimeLoad, runStart, loadEnd)
 		tr.Span("system", "run", "kernel", loadEnd, kernelEnd)
 		tr.Span("system", "run", TimeStore, kernelEnd, storeEnd)
+		// Phase handoffs as causal flow edges (chrome://tracing arrows).
+		tr.Flow("phase", "system", "run", "system", "run", loadEnd)
+		tr.Flow("phase", "system", "run", "system", "run", kernelEnd)
 	}
 	cfg.Obs.Record(&res.Counters)
+	cfg.Obs.RecordBlame(res.Blame)
 	b.release()
 	return res, nil
 }

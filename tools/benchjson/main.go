@@ -37,6 +37,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"runtime"
 	"strconv"
 	"strings"
@@ -63,7 +64,25 @@ type document struct {
 	CPU        string   `json:"cpu,omitempty"`
 	GoMaxProcs int      `json:"gomaxprocs,omitempty"`
 	NumCPU     int      `json:"numcpu,omitempty"`
+	Commit     string   `json:"commit,omitempty"`
+	Dirty      bool     `json:"dirty,omitempty"`
 	Benchmarks []result `json:"benchmarks"`
+}
+
+// gitCommit stamps the recorded numbers with the code they measured:
+// the current HEAD hash plus a dirty marker when the working tree has
+// uncommitted changes. Best-effort — outside a git checkout (or without
+// a git binary) both stay zero and the fields are omitted.
+func gitCommit() (commit string, dirty bool) {
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return "", false
+	}
+	commit = strings.TrimSpace(string(out))
+	if status, err := exec.Command("git", "status", "--porcelain").Output(); err == nil {
+		dirty = len(strings.TrimSpace(string(status))) > 0
+	}
+	return commit, dirty
 }
 
 func main() {
@@ -96,6 +115,7 @@ func main() {
 		NumCPU:     runtime.NumCPU(),
 		Benchmarks: []result{},
 	}
+	doc.Commit, doc.Dirty = gitCommit()
 	byName := map[string]int{} // first-seen order, min ns/op wins
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -180,6 +200,14 @@ func compareBaseline(doc document, path string, threshold float64) (bool, error)
 				"benchjson: WARNING: host shape differs from baseline %s: GOMAXPROCS %d vs %d, NumCPU %d vs %d — ns/op deltas are not comparable\n",
 				path, doc.GoMaxProcs, base.GoMaxProcs, doc.NumCPU, base.NumCPU)
 		}
+	}
+	if base.Commit != "" && base.Commit != doc.Commit {
+		dirty := ""
+		if base.Dirty {
+			dirty = " (dirty tree)"
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: baseline %s was recorded at commit %.12s%s\n",
+			path, base.Commit, dirty)
 	}
 	baseNs := make(map[string]float64, len(base.Benchmarks))
 	for _, b := range base.Benchmarks {
